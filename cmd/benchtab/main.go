@@ -1,0 +1,63 @@
+// Command benchtab regenerates the paper's evaluation: the six per-image
+// tables (split/merge times and iteration counts across the five machine
+// configurations) and the Figure 3 merge-time bar chart, with the paper's
+// published numbers printed alongside.
+//
+// Usage:
+//
+//	benchtab [-threshold T] [-seed S] [-tie P] [-markdown]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"regiongrow"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchtab: ")
+	threshold := flag.Int("threshold", 10, "homogeneity threshold T")
+	seed := flag.Uint64("seed", 1, "random tie seed")
+	tieName := flag.String("tie", "random", "tie policy: random, smallest-id, largest-id")
+	flag.Parse()
+
+	tie := regiongrow.RandomTie
+	switch *tieName {
+	case "random":
+	case "smallest-id":
+		tie = regiongrow.SmallestIDTie
+	case "largest-id":
+		tie = regiongrow.LargestIDTie
+	default:
+		log.Fatalf("unknown tie policy %q", *tieName)
+	}
+	cfg := regiongrow.Config{Threshold: *threshold, Tie: tie, Seed: *seed}
+
+	var exps []regiongrow.Experiment
+	for i, id := range regiongrow.AllPaperImages() {
+		exp, err := regiongrow.RunExperiment(id, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		exps = append(exps, exp)
+		fmt.Printf("=== Table %d ===\n", i+1)
+		regiongrow.WriteTable(os.Stdout, exp)
+		fmt.Println()
+	}
+
+	regiongrow.WriteFigure3(os.Stdout, exps)
+	fmt.Println()
+
+	if bad := regiongrow.CheckOrderings(exps); len(bad) > 0 {
+		fmt.Println("ordering violations (paper claims C2-C5):")
+		for _, b := range bad {
+			fmt.Println("  ", b)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("all paper orderings hold: Async < LP < CM5-CMF and CM2-16K < CM2-8K < CM5-CMF (merge stage)")
+}

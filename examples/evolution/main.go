@@ -1,0 +1,77 @@
+// Evolution: visualise the paper's characterisation of region growing as
+// an *adaptive irregular problem* — "a dynamic behavior that starts with
+// a high degree of parallelism that very rapidly diminishes". The curve
+// of live regions (and merges per iteration) across the merge stage shows
+// the collapse, and how the tie policy changes its speed; the serial
+// baseline shows the degenerate case.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"regiongrow"
+)
+
+func main() {
+	im := regiongrow.GeneratePaperImage(regiongrow.Image3Circles128)
+
+	type run struct {
+		name string
+		seg  *regiongrow.Segmentation
+	}
+	var runs []run
+
+	for _, p := range []struct {
+		name string
+		tie  regiongrow.TiePolicy
+	}{
+		{"random ties", regiongrow.RandomTie},
+		{"smallest-id ties", regiongrow.SmallestIDTie},
+	} {
+		seg, err := regiongrow.Segment(im, regiongrow.Config{Threshold: 10, Tie: p.tie, Seed: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		runs = append(runs, run{p.name, seg})
+	}
+	serial, err := regiongrow.SegmentSerial(im, regiongrow.Config{Threshold: 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+	runs = append(runs, run{"serial baseline (one merge/iter)", serial})
+
+	for _, r := range runs {
+		fmt.Printf("%s: %d squares -> %d regions in %d merge iterations\n",
+			r.name, r.seg.SquaresAfterSplit, r.seg.FinalRegions, r.seg.MergeIterations)
+		plotDecay(r.seg)
+		fmt.Println()
+	}
+
+	fmt.Println("The random policy keeps nearly half the live regions merging")
+	fmt.Println("every iteration until few remain; ID-based ties serialise the")
+	fmt.Println("work into long chains; and the serial baseline is the R-1 lower")
+	fmt.Println("bound of the paper's complexity section.")
+}
+
+// plotDecay draws live-region count per merge iteration on a log-free
+// ASCII scale, sampling long runs down to at most 24 rows.
+func plotDecay(seg *regiongrow.Segmentation) {
+	live := seg.SquaresAfterSplit
+	counts := []int{live}
+	for _, m := range seg.MergesPerIter {
+		live -= m
+		counts = append(counts, live)
+	}
+	step := 1
+	if len(counts) > 24 {
+		step = (len(counts) + 23) / 24
+	}
+	const width = 50
+	maxCount := counts[0]
+	for i := 0; i < len(counts); i += step {
+		bar := counts[i] * width / maxCount
+		fmt.Printf("  iter %4d |%-*s| %d live\n", i, width, strings.Repeat("*", bar), counts[i])
+	}
+}

@@ -1,0 +1,148 @@
+package regiongrow
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSegmentSerial(t *testing.T) {
+	im := GeneratePaperImage(Image2Rects128)
+	seg, err := SegmentSerial(im, Config{Threshold: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seg.FinalRegions != 7 {
+		t.Fatalf("serial baseline regions = %d", seg.FinalRegions)
+	}
+	if err := Validate(seg, im, Config{Threshold: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegionStatsFacade(t *testing.T) {
+	im := GeneratePaperImage(Image2Rects128)
+	seg, err := Segment(im, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := ComputeRegionStats(seg, im)
+	if len(rs) != seg.FinalRegions {
+		t.Fatalf("stats for %d regions, segmentation has %d", len(rs), seg.FinalRegions)
+	}
+	total := 0
+	for _, r := range rs {
+		total += r.Area
+	}
+	if total != im.W*im.H {
+		t.Fatalf("areas cover %d of %d pixels", total, im.W*im.H)
+	}
+	sum := SummarizeRegions(rs)
+	if sum.Regions != 7 || sum.MaxRange > 10 {
+		t.Fatalf("summary = %+v", sum)
+	}
+
+	var dot, js strings.Builder
+	if err := WriteRegionDOT(&dot, rs); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(dot.String(), "graph rag") {
+		t.Fatal("DOT output malformed")
+	}
+	if err := WriteRegionJSON(&js, rs); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(js.String(), `"area"`) {
+		t.Fatal("JSON output malformed")
+	}
+}
+
+func TestRecolour(t *testing.T) {
+	im := GeneratePaperImage(Image1NestedRects128)
+	seg, err := Segment(im, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := Recolour(seg, im)
+	if rc.W != im.W || rc.H != im.H {
+		t.Fatal("recoloured dims wrong")
+	}
+	// Exactly as many distinct shades as regions (intervals are disjoint
+	// on this clean image).
+	shades := map[uint8]bool{}
+	for _, p := range rc.Pix {
+		shades[p] = true
+	}
+	if len(shades) != seg.FinalRegions {
+		t.Fatalf("%d shades for %d regions", len(shades), seg.FinalRegions)
+	}
+	// Pixels of one region share one shade.
+	for i, lab := range seg.Labels {
+		if rc.Pix[i] != rc.Pix[lab] {
+			t.Fatal("region not uniformly recoloured")
+		}
+	}
+}
+
+func TestSegmentationInvariantUnderFlips(t *testing.T) {
+	// The region structure of a paper image must be preserved under
+	// horizontal/vertical mirroring and rotation: same number of regions
+	// with the same multiset of areas.
+	im := GeneratePaperImage(Image2Rects128)
+	base, err := Segment(im, Config{Threshold: 10, Tie: SmallestIDTie})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, tr := range map[string]*Image{
+		"flipH":    im.FlipH(),
+		"flipV":    im.FlipV(),
+		"rotate90": im.Rotate90(),
+	} {
+		seg, err := Segment(tr, Config{Threshold: 10, Tie: SmallestIDTie})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seg.FinalRegions != base.FinalRegions {
+			t.Errorf("%s: %d regions, want %d", name, seg.FinalRegions, base.FinalRegions)
+		}
+		if !sameAreaMultiset(base, seg) {
+			t.Errorf("%s: region area multiset changed", name)
+		}
+	}
+}
+
+func sameAreaMultiset(a, b *Segmentation) bool {
+	count := map[int]int{}
+	for _, r := range a.Regions {
+		count[r.Area]++
+	}
+	for _, r := range b.Regions {
+		count[r.Area]--
+	}
+	for _, c := range count {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestUpscaledImageSameStructure(t *testing.T) {
+	// Pixel replication must preserve the region structure (areas scale
+	// by the square of the factor).
+	im := GeneratePaperImage(Image2Rects128)
+	up, err := im.Upsample(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Segment(im, Config{Threshold: 10, Tie: SmallestIDTie})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Segment(up, Config{Threshold: 10, Tie: SmallestIDTie})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.FinalRegions != b.FinalRegions {
+		t.Fatalf("upsampled image: %d regions, want %d", b.FinalRegions, a.FinalRegions)
+	}
+}

@@ -1,0 +1,304 @@
+// Package core defines the segmentation data model shared by all engines
+// and provides the sequential reference engine for the split-and-merge
+// region growing algorithm.
+//
+// An Engine consumes an image and a Config and produces a Segmentation:
+// final per-pixel labels plus the statistics the paper reports (split
+// iterations, merge iterations, stage timings). The sequential engine here
+// fixes the semantics; the data-parallel engine (internal/dpengine) and the
+// message-passing engine (internal/mpengine) must produce identical
+// segmentations under deterministic tie policies.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"regiongrow/internal/homog"
+	"regiongrow/internal/pixmap"
+	"regiongrow/internal/quadsplit"
+	"regiongrow/internal/rag"
+	"regiongrow/internal/unionfind"
+)
+
+// Config parameterises a segmentation run.
+type Config struct {
+	// Threshold T of the pixel-range homogeneity criterion.
+	Threshold int
+	// Tie selects the tie-breaking policy of the merge stage.
+	Tie rag.TiePolicy
+	// Seed drives the Random tie policy. Runs with equal seeds are
+	// byte-identical.
+	Seed uint64
+	// MaxSquare caps split-stage square size; see quadsplit.Options.
+	MaxSquare int
+}
+
+// Criterion returns the homogeneity criterion implied by the config.
+func (c Config) Criterion() homog.Criterion { return homog.NewRange(c.Threshold) }
+
+// RegionInfo summarises one final region.
+type RegionInfo struct {
+	ID   int32
+	IV   homog.Interval
+	Area int
+}
+
+// Segmentation is the result of a full split+merge run.
+type Segmentation struct {
+	W, H int
+	// Labels assigns every pixel the ID of its final region (the smallest
+	// linear pixel index among the region's constituent squares' origins).
+	Labels []int32
+	// Regions lists final regions in ascending ID order.
+	Regions []RegionInfo
+
+	// The statistics the paper's tables report.
+	SplitIterations   int
+	MergeIterations   int
+	SquaresAfterSplit int
+	FinalRegions      int
+
+	// MergesPerIter records merges in each merge iteration (the paper's
+	// randomness discussion is about this distribution).
+	MergesPerIter []int
+	// ForcedResolutions counts forced SmallestID rounds under Random.
+	ForcedResolutions int
+
+	// Wall-clock stage durations of this process.
+	SplitWall, MergeWall time.Duration
+	// Simulated stage times in seconds under a machine cost model; zero
+	// for the sequential engine, which models no machine.
+	SplitSim, MergeSim float64
+
+	// Comm holds communication counters for the message-passing engine
+	// (nil for other engines).
+	Comm *CommStats
+}
+
+// CommStats counts the communication a message-passing run performed.
+type CommStats struct {
+	// Messages and Words are point-to-point totals across all nodes.
+	Messages, Words int64
+	// Barriers, Gathers, and Reduces count collective episodes.
+	Barriers, Gathers, Reduces int64
+	// LPSteps counts Linear Permutation ring steps (zero under Async).
+	LPSteps int64
+	// Exchanges counts irregular all-to-many exchanges.
+	Exchanges int64
+}
+
+// Engine runs the split-and-merge algorithm in one of the paper's
+// programming models.
+type Engine interface {
+	// Name identifies the engine in experiment records.
+	Name() string
+	// Segment produces the segmentation of the image under cfg.
+	Segment(im *pixmap.Image, cfg Config) (*Segmentation, error)
+}
+
+// Sequential is the single-threaded reference engine.
+type Sequential struct{}
+
+// Name implements Engine.
+func (Sequential) Name() string { return "sequential" }
+
+// Segment implements Engine: sequential split, then the shared RAG merge
+// kernel, then relabeling.
+func (Sequential) Segment(im *pixmap.Image, cfg Config) (*Segmentation, error) {
+	crit := cfg.Criterion()
+
+	t0 := time.Now()
+	sp := quadsplit.Split(im, crit, quadsplit.Options{MaxSquare: cfg.MaxSquare})
+	splitWall := time.Since(t0)
+
+	t1 := time.Now()
+	g := rag.BuildFromLabels(im, sp.Labels, crit)
+	stats, asg := g.MergeAll(cfg.Tie, cfg.Seed)
+	labels := asg.Relabel(sp.Labels)
+	mergeWall := time.Since(t1)
+
+	seg := &Segmentation{
+		W: im.W, H: im.H,
+		Labels:            labels,
+		SplitIterations:   sp.Iterations,
+		MergeIterations:   stats.Iterations,
+		SquaresAfterSplit: sp.NumSquares,
+		MergesPerIter:     stats.MergesPerIter,
+		ForcedResolutions: stats.ForcedResolutions,
+		SplitWall:         splitWall,
+		MergeWall:         mergeWall,
+	}
+	seg.FillRegions(im)
+	return seg, nil
+}
+
+// FillRegions recomputes the Regions list and FinalRegions count from the
+// label array. Engines call it after producing Labels.
+func (s *Segmentation) FillRegions(im *pixmap.Image) {
+	info := make(map[int32]*RegionInfo)
+	for i, lab := range s.Labels {
+		ri, ok := info[lab]
+		if !ok {
+			ri = &RegionInfo{ID: lab, IV: homog.Empty()}
+			info[lab] = ri
+		}
+		ri.Area++
+		ri.IV = ri.IV.Union(homog.Point(im.Pix[i]))
+	}
+	s.Regions = s.Regions[:0]
+	for _, ri := range info {
+		s.Regions = append(s.Regions, *ri)
+	}
+	sort.Slice(s.Regions, func(i, j int) bool { return s.Regions[i].ID < s.Regions[j].ID })
+	s.FinalRegions = len(s.Regions)
+}
+
+// EqualLabels reports whether two segmentations assign identical labels.
+func (s *Segmentation) EqualLabels(other *Segmentation) bool {
+	if s.W != other.W || s.H != other.H || len(s.Labels) != len(other.Labels) {
+		return false
+	}
+	for i, l := range s.Labels {
+		if l != other.Labels[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SerialBaseline is the merge-stage baseline of the paper's complexity
+// section: one merge per iteration (the globally best active edge), the
+// R−1-iteration worst case against which the parallel mutual-merge
+// kernel's log R best case is measured. The split stage is identical to
+// the Sequential engine's.
+type SerialBaseline struct{}
+
+// Name implements Engine.
+func (SerialBaseline) Name() string { return "serial-baseline" }
+
+// Segment implements Engine.
+func (SerialBaseline) Segment(im *pixmap.Image, cfg Config) (*Segmentation, error) {
+	crit := cfg.Criterion()
+	t0 := time.Now()
+	sp := quadsplit.Split(im, crit, quadsplit.Options{MaxSquare: cfg.MaxSquare})
+	splitWall := time.Since(t0)
+
+	t1 := time.Now()
+	g := rag.BuildFromLabels(im, sp.Labels, crit)
+	stats, asg := g.MergeSerial()
+	labels := asg.Relabel(sp.Labels)
+	mergeWall := time.Since(t1)
+
+	seg := &Segmentation{
+		W: im.W, H: im.H,
+		Labels:            labels,
+		SplitIterations:   sp.Iterations,
+		MergeIterations:   stats.Iterations,
+		SquaresAfterSplit: sp.NumSquares,
+		MergesPerIter:     stats.MergesPerIter,
+		SplitWall:         splitWall,
+		MergeWall:         mergeWall,
+	}
+	seg.FillRegions(im)
+	return seg, nil
+}
+
+// Validate checks the postconditions of a completed segmentation against
+// the source image:
+//
+//  1. labels form a partition and each region's ID is the minimum pixel
+//     index at which its label occurs;
+//  2. every region is 4-connected;
+//  3. every region satisfies the homogeneity criterion over its actual
+//     pixels;
+//  4. termination: no two 4-adjacent regions could still merge (the union
+//     of their intervals violates the criterion) — the defining property
+//     of a finished merge stage.
+func Validate(s *Segmentation, im *pixmap.Image, crit homog.Criterion) error {
+	if s.W != im.W || s.H != im.H || len(s.Labels) != im.W*im.H {
+		return fmt.Errorf("core: segmentation shape %dx%d/%d does not match image %dx%d",
+			s.W, s.H, len(s.Labels), im.W, im.H)
+	}
+	if len(s.Labels) == 0 {
+		return nil
+	}
+	// (1) representative = min pixel index with that label.
+	minIdx := make(map[int32]int)
+	for i, lab := range s.Labels {
+		if _, ok := minIdx[lab]; !ok {
+			minIdx[lab] = i
+		}
+	}
+	for lab, idx := range minIdx {
+		if int(lab) != idx {
+			return fmt.Errorf("core: region label %d but first pixel index %d", lab, idx)
+		}
+	}
+	// (2) connectivity: union-find over same-label adjacency must yield
+	// exactly one set per label.
+	d := unionfind.New(len(s.Labels))
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			i := y*im.W + x
+			if x+1 < im.W && s.Labels[i] == s.Labels[i+1] {
+				d.Union(i, i+1)
+			}
+			if y+1 < im.H && s.Labels[i] == s.Labels[i+im.W] {
+				d.Union(i, i+im.W)
+			}
+		}
+	}
+	if d.Sets() != len(minIdx) {
+		return fmt.Errorf("core: %d labels but %d connected components — some region is disconnected",
+			len(minIdx), d.Sets())
+	}
+	// (3) per-region homogeneity over actual pixels.
+	ivs := make(map[int32]homog.Interval)
+	for i, lab := range s.Labels {
+		iv, ok := ivs[lab]
+		if !ok {
+			iv = homog.Empty()
+		}
+		ivs[lab] = iv.Union(homog.Point(im.Pix[i]))
+	}
+	for lab, iv := range ivs {
+		if !crit.Homogeneous(iv) {
+			return fmt.Errorf("core: region %d inhomogeneous: %v", lab, iv)
+		}
+	}
+	// (4) no adjacent pair still mergeable.
+	type pair struct{ a, b int32 }
+	seen := make(map[pair]struct{})
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			i := y*im.W + x
+			for _, j := range [2]int{i + 1, i + im.W} {
+				if j == i+1 && x+1 >= im.W {
+					continue
+				}
+				if j == i+im.W && y+1 >= im.H {
+					continue
+				}
+				a, b := s.Labels[i], s.Labels[j]
+				if a == b {
+					continue
+				}
+				if a > b {
+					a, b = b, a
+				}
+				p := pair{a, b}
+				if _, ok := seen[p]; ok {
+					continue
+				}
+				seen[p] = struct{}{}
+				if crit.Homogeneous(ivs[a].Union(ivs[b])) {
+					return fmt.Errorf("core: adjacent regions %d and %d could still merge (%v ∪ %v)",
+						a, b, ivs[a], ivs[b])
+				}
+			}
+		}
+	}
+	return nil
+}

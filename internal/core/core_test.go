@@ -1,0 +1,219 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"regiongrow/internal/homog"
+	"regiongrow/internal/pixmap"
+	"regiongrow/internal/rag"
+)
+
+func segment(t *testing.T, im *pixmap.Image, cfg Config) *Segmentation {
+	t.Helper()
+	seg, err := Sequential{}.Segment(im, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return seg
+}
+
+func TestPaperImageRegionCounts(t *testing.T) {
+	want := map[pixmap.PaperImageID]int{
+		pixmap.Image1NestedRects128: 2,
+		pixmap.Image2Rects128:       7,
+		pixmap.Image3Circles128:     11,
+		pixmap.Image4NestedRects256: 2,
+		pixmap.Image5Rects256:       7,
+		pixmap.Image6Tool256:        4,
+	}
+	for id, n := range want {
+		im := pixmap.Generate(id, pixmap.DefaultGenOptions())
+		seg := segment(t, im, Config{Threshold: 10, Tie: rag.Random, Seed: 1})
+		if seg.FinalRegions != n {
+			t.Errorf("%v: %d final regions, want %d", id, seg.FinalRegions, n)
+		}
+		if err := Validate(seg, im, homog.NewRange(10)); err != nil {
+			t.Errorf("%v: %v", id, err)
+		}
+	}
+}
+
+func TestSplitIterationsReported(t *testing.T) {
+	im := pixmap.Generate(pixmap.Image1NestedRects128, pixmap.DefaultGenOptions())
+	seg := segment(t, im, Config{Threshold: 10})
+	if seg.SplitIterations != 4 {
+		t.Fatalf("split iterations = %d, want 4", seg.SplitIterations)
+	}
+	if seg.SquaresAfterSplit == 0 || seg.MergeIterations == 0 {
+		t.Fatal("missing statistics")
+	}
+	if len(seg.MergesPerIter) != seg.MergeIterations {
+		t.Fatalf("MergesPerIter has %d entries for %d iterations", len(seg.MergesPerIter), seg.MergeIterations)
+	}
+}
+
+func TestUniformImageOneRegionUnbounded(t *testing.T) {
+	im := pixmap.Uniform(64, 50)
+	seg := segment(t, im, Config{Threshold: 0, MaxSquare: -1})
+	if seg.FinalRegions != 1 {
+		t.Fatalf("final regions = %d", seg.FinalRegions)
+	}
+	if seg.MergeIterations != 0 {
+		t.Fatalf("merge iterations = %d for a single split square", seg.MergeIterations)
+	}
+}
+
+func TestUniformImageCappedMergesBack(t *testing.T) {
+	// With the default cap the split yields 64 squares that the merge
+	// stage reassembles into one region.
+	im := pixmap.Uniform(64, 50)
+	seg := segment(t, im, Config{Threshold: 0})
+	if seg.SquaresAfterSplit != 64 {
+		t.Fatalf("squares = %d", seg.SquaresAfterSplit)
+	}
+	if seg.FinalRegions != 1 {
+		t.Fatalf("final regions = %d", seg.FinalRegions)
+	}
+}
+
+func TestCheckerboardNoMerges(t *testing.T) {
+	im := pixmap.Checkerboard(16, 0, 255)
+	seg := segment(t, im, Config{Threshold: 10})
+	if seg.FinalRegions != 256 {
+		t.Fatalf("final regions = %d, want 256", seg.FinalRegions)
+	}
+	if seg.MergeIterations != 0 {
+		t.Fatalf("merge iterations = %d, want 0 (no active edges ever)", seg.MergeIterations)
+	}
+}
+
+func TestThreshold255OneRegion(t *testing.T) {
+	im := pixmap.Random(32, 5)
+	seg := segment(t, im, Config{Threshold: 255, MaxSquare: -1})
+	if seg.FinalRegions != 1 {
+		t.Fatalf("T=255: %d regions", seg.FinalRegions)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	im := pixmap.Generate(pixmap.Image3Circles128, pixmap.DefaultGenOptions())
+	cfg := Config{Threshold: 10, Tie: rag.Random, Seed: 42}
+	a := segment(t, im, cfg)
+	b := segment(t, im, cfg)
+	if !a.EqualLabels(b) {
+		t.Fatal("same seed produced different segmentations")
+	}
+	c := segment(t, im, Config{Threshold: 10, Tie: rag.Random, Seed: 43})
+	// Different seeds may legitimately produce different label histories;
+	// both must be valid.
+	if err := Validate(c, im, homog.NewRange(10)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateAcceptsAndRejects(t *testing.T) {
+	im := pixmap.Generate(pixmap.Image2Rects128, pixmap.DefaultGenOptions())
+	seg := segment(t, im, Config{Threshold: 10})
+	if err := Validate(seg, im, homog.NewRange(10)); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt: relabel one pixel to a fresh id that is not its min index.
+	bad := *seg
+	bad.Labels = append([]int32{}, seg.Labels...)
+	bad.Labels[len(bad.Labels)-1] = 7
+	if Validate(&bad, im, homog.NewRange(10)) == nil {
+		t.Fatal("Validate accepted corrupted labels")
+	}
+	// Shape mismatch.
+	if Validate(seg, pixmap.New(4, 4), homog.NewRange(10)) == nil {
+		t.Fatal("Validate accepted shape mismatch")
+	}
+}
+
+func TestValidateCatchesDisconnectedRegion(t *testing.T) {
+	// Hand-build a segmentation where label 0 appears in two disconnected
+	// corners of a 3×3 image.
+	im := pixmap.Uniform(3, 9)
+	seg := &Segmentation{W: 3, H: 3, Labels: []int32{
+		0, 1, 1,
+		1, 1, 1,
+		1, 1, 0, // disconnected reuse of label 0
+	}}
+	seg.FillRegions(im)
+	if Validate(seg, im, homog.NewRange(255)) == nil {
+		t.Fatal("Validate accepted a disconnected region")
+	}
+}
+
+func TestValidateCatchesMergeableNeighbours(t *testing.T) {
+	// Two adjacent labels with identical intensity: they should have
+	// merged, so Validate must reject.
+	im := pixmap.Uniform(2, 9)
+	seg := &Segmentation{W: 2, H: 2, Labels: []int32{0, 1, 0, 1}}
+	seg.FillRegions(im)
+	if Validate(seg, im, homog.NewRange(10)) == nil {
+		t.Fatal("Validate accepted unmerged mergeable neighbours")
+	}
+}
+
+func TestValidateCatchesInhomogeneousRegion(t *testing.T) {
+	im := pixmap.New(2, 1)
+	im.Pix[0], im.Pix[1] = 0, 200
+	seg := &Segmentation{W: 2, H: 1, Labels: []int32{0, 0}}
+	seg.FillRegions(im)
+	if Validate(seg, im, homog.NewRange(10)) == nil {
+		t.Fatal("Validate accepted an inhomogeneous region")
+	}
+}
+
+func TestFillRegions(t *testing.T) {
+	im := pixmap.New(2, 2)
+	copy(im.Pix, []uint8{1, 1, 9, 9})
+	seg := &Segmentation{W: 2, H: 2, Labels: []int32{0, 0, 2, 2}}
+	seg.FillRegions(im)
+	if seg.FinalRegions != 2 || len(seg.Regions) != 2 {
+		t.Fatalf("regions = %d", seg.FinalRegions)
+	}
+	if seg.Regions[0].ID != 0 || seg.Regions[0].Area != 2 || seg.Regions[0].IV.Hi != 1 {
+		t.Fatalf("region 0 = %+v", seg.Regions[0])
+	}
+	if seg.Regions[1].ID != 2 || seg.Regions[1].IV.Lo != 9 {
+		t.Fatalf("region 1 = %+v", seg.Regions[1])
+	}
+}
+
+func TestSequentialPostconditionsProperty(t *testing.T) {
+	err := quick.Check(func(seed uint64, tRaw, policyRaw uint8) bool {
+		im := pixmap.Random(24, seed)
+		for i := range im.Pix {
+			im.Pix[i] &= 0x3F
+		}
+		tVal := int(tRaw % 64)
+		policy := []rag.TiePolicy{rag.SmallestID, rag.LargestID, rag.Random}[policyRaw%3]
+		seg, err := Sequential{}.Segment(im, Config{Threshold: tVal, Tie: policy, Seed: seed})
+		if err != nil {
+			return false
+		}
+		return Validate(seg, im, homog.NewRange(tVal)) == nil
+	}, &quick.Config{MaxCount: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyImage(t *testing.T) {
+	seg := segment(t, pixmap.New(0, 0), Config{Threshold: 10})
+	if seg.FinalRegions != 0 {
+		t.Fatalf("empty image: %d regions", seg.FinalRegions)
+	}
+	if err := Validate(seg, pixmap.New(0, 0), homog.NewRange(10)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineName(t *testing.T) {
+	if (Sequential{}).Name() != "sequential" {
+		t.Fatal("name wrong")
+	}
+}

@@ -1,0 +1,104 @@
+// Package homog defines homogeneity criteria for region growing and the
+// intensity-interval algebra the engines share.
+//
+// The paper uses the pixel range criterion exclusively: a region is
+// homogeneous when the difference between its maximum and minimum pixel
+// intensities does not exceed a threshold T. The merge stage's edge weights
+// are ranges of region unions, so the whole computation reduces to an
+// algebra over closed intensity intervals [Lo, Hi] — which this package
+// provides — plus the threshold predicate.
+package homog
+
+import "fmt"
+
+// Interval is a closed intensity interval [Lo, Hi]. The zero value is the
+// empty interval (Lo > Hi is never constructed; Empty uses Lo=255, Hi=0 so
+// that Union with anything yields the other operand).
+type Interval struct {
+	Lo, Hi uint8
+}
+
+// Empty returns the identity element for Union.
+func Empty() Interval { return Interval{Lo: 255, Hi: 0} }
+
+// Point returns the degenerate interval [v, v] — a single pixel's interval.
+func Point(v uint8) Interval { return Interval{Lo: v, Hi: v} }
+
+// IsEmpty reports whether the interval contains no intensities.
+func (iv Interval) IsEmpty() bool { return iv.Lo > iv.Hi }
+
+// Union returns the smallest interval containing both operands.
+func (iv Interval) Union(other Interval) Interval {
+	if iv.IsEmpty() {
+		return other
+	}
+	if other.IsEmpty() {
+		return iv
+	}
+	out := iv
+	if other.Lo < out.Lo {
+		out.Lo = other.Lo
+	}
+	if other.Hi > out.Hi {
+		out.Hi = other.Hi
+	}
+	return out
+}
+
+// Range returns Hi−Lo, the pixel range. The empty interval has range 0:
+// a region with no pixels is vacuously homogeneous.
+func (iv Interval) Range() int {
+	if iv.IsEmpty() {
+		return 0
+	}
+	return int(iv.Hi) - int(iv.Lo)
+}
+
+// Contains reports whether intensity v lies in the interval.
+func (iv Interval) Contains(v uint8) bool { return v >= iv.Lo && v <= iv.Hi }
+
+// String formats the interval for diagnostics.
+func (iv Interval) String() string {
+	if iv.IsEmpty() {
+		return "[empty]"
+	}
+	return fmt.Sprintf("[%d,%d]", iv.Lo, iv.Hi)
+}
+
+// Criterion decides whether a (union of) region(s) with a given intensity
+// interval is homogeneous. Implementations must be monotone: if an interval
+// is not homogeneous, no superset of it is. Monotonicity is what guarantees
+// the split stage's early exit and the merge stage's edge de-activation are
+// sound.
+type Criterion interface {
+	// Homogeneous reports whether a region whose pixels span iv satisfies
+	// the criterion.
+	Homogeneous(iv Interval) bool
+	// String describes the criterion for logs and experiment records.
+	String() string
+}
+
+// RangeCriterion is the paper's pixel-range criterion: Hi−Lo ≤ T.
+type RangeCriterion struct {
+	T int
+}
+
+// NewRange returns the pixel-range criterion with threshold t.
+// It panics if t is negative.
+func NewRange(t int) RangeCriterion {
+	if t < 0 {
+		panic(fmt.Sprintf("homog: negative threshold %d", t))
+	}
+	return RangeCriterion{T: t}
+}
+
+// Homogeneous implements Criterion.
+func (c RangeCriterion) Homogeneous(iv Interval) bool { return iv.Range() <= c.T }
+
+// String implements Criterion.
+func (c RangeCriterion) String() string { return fmt.Sprintf("range<=%d", c.T) }
+
+// Weight returns the merge-stage edge weight for two regions with intervals
+// a and b: the pixel range of their union. Only edges with Weight ≤ T are
+// active under RangeCriterion{T}.
+func Weight(a, b Interval) int { return a.Union(b).Range() }

@@ -1,0 +1,172 @@
+package homog
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPointInterval(t *testing.T) {
+	iv := Point(7)
+	if iv.Lo != 7 || iv.Hi != 7 {
+		t.Fatalf("Point(7) = %v", iv)
+	}
+	if iv.Range() != 0 {
+		t.Fatalf("Point range = %d", iv.Range())
+	}
+	if iv.IsEmpty() {
+		t.Fatal("point interval is empty")
+	}
+}
+
+func TestEmptyIdentity(t *testing.T) {
+	e := Empty()
+	if !e.IsEmpty() {
+		t.Fatal("Empty() is not empty")
+	}
+	if e.Range() != 0 {
+		t.Fatalf("empty range = %d", e.Range())
+	}
+	err := quick.Check(func(lo, hi uint8) bool {
+		iv := Interval{Lo: min(lo, hi), Hi: max(lo, hi)}
+		return e.Union(iv) == iv && iv.Union(e) == iv
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// arb builds a non-empty interval from two arbitrary bytes.
+func arb(a, b uint8) Interval {
+	if a > b {
+		a, b = b, a
+	}
+	return Interval{Lo: a, Hi: b}
+}
+
+func TestUnionCommutativeAssociativeIdempotent(t *testing.T) {
+	err := quick.Check(func(a1, a2, b1, b2, c1, c2 uint8) bool {
+		a, b, c := arb(a1, a2), arb(b1, b2), arb(c1, c2)
+		if a.Union(b) != b.Union(a) {
+			return false
+		}
+		if a.Union(b).Union(c) != a.Union(b.Union(c)) {
+			return false
+		}
+		return a.Union(a) == a
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnionMonotoneRange(t *testing.T) {
+	err := quick.Check(func(a1, a2, b1, b2 uint8) bool {
+		a, b := arb(a1, a2), arb(b1, b2)
+		u := a.Union(b)
+		return u.Range() >= a.Range() && u.Range() >= b.Range()
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnionContainsOperands(t *testing.T) {
+	err := quick.Check(func(a1, a2, b1, b2, x uint8) bool {
+		a, b := arb(a1, a2), arb(b1, b2)
+		u := a.Union(b)
+		if a.Contains(x) && !u.Contains(x) {
+			return false
+		}
+		if b.Contains(x) && !u.Contains(x) {
+			return false
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRange(t *testing.T) {
+	cases := []struct {
+		iv   Interval
+		want int
+	}{
+		{Interval{0, 255}, 255},
+		{Interval{10, 10}, 0},
+		{Interval{100, 110}, 10},
+		{Empty(), 0},
+	}
+	for _, c := range cases {
+		if got := c.iv.Range(); got != c.want {
+			t.Errorf("%v.Range() = %d, want %d", c.iv, got, c.want)
+		}
+	}
+}
+
+func TestRangeCriterion(t *testing.T) {
+	c := NewRange(10)
+	if !c.Homogeneous(Interval{50, 60}) {
+		t.Error("range 10 should satisfy T=10")
+	}
+	if c.Homogeneous(Interval{50, 61}) {
+		t.Error("range 11 should fail T=10")
+	}
+	if !c.Homogeneous(Empty()) {
+		t.Error("empty region should be vacuously homogeneous")
+	}
+	if c.String() != "range<=10" {
+		t.Errorf("String() = %q", c.String())
+	}
+}
+
+func TestCriterionMonotone(t *testing.T) {
+	// If an interval fails, every superset fails (the property that makes
+	// edge de-activation and early split exit sound).
+	err := quick.Check(func(a1, a2, b1, b2 uint8, tRaw uint8) bool {
+		c := NewRange(int(tRaw % 64))
+		a, b := arb(a1, a2), arb(b1, b2)
+		u := a.Union(b)
+		if !c.Homogeneous(a) && c.Homogeneous(u) {
+			return false
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewRangePanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewRange(-1) did not panic")
+		}
+	}()
+	NewRange(-1)
+}
+
+func TestWeight(t *testing.T) {
+	if w := Weight(Interval{10, 20}, Interval{15, 40}); w != 30 {
+		t.Fatalf("Weight = %d, want 30", w)
+	}
+	if w := Weight(Point(5), Point(5)); w != 0 {
+		t.Fatalf("Weight of identical points = %d", w)
+	}
+	err := quick.Check(func(a1, a2, b1, b2 uint8) bool {
+		a, b := arb(a1, a2), arb(b1, b2)
+		return Weight(a, b) == Weight(b, a) && Weight(a, b) == a.Union(b).Range()
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	if s := (Interval{3, 9}).String(); s != "[3,9]" {
+		t.Errorf("String = %q", s)
+	}
+	if s := Empty().String(); s != "[empty]" {
+		t.Errorf("empty String = %q", s)
+	}
+}

@@ -1,0 +1,37 @@
+package machine
+
+import "testing"
+
+func TestHPFHypothetical(t *testing.T) {
+	hpf := HPFHypothetical()
+	cmf := Get(CM5_CMF)
+	if hpf.PE != cmf.PE {
+		t.Fatal("HPF profile changed the node count")
+	}
+	if hpf.TElem != cmf.TElem {
+		t.Fatal("HPF profile should not change element throughput")
+	}
+	// The whole point: per-operation overheads drop.
+	if hpf.TSync >= cmf.TSync || hpf.RouterLatency >= cmf.RouterLatency || hpf.TScan >= cmf.TScan {
+		t.Fatalf("HPF overheads not reduced: %+v", hpf)
+	}
+	if hpf.Name == cmf.Name {
+		t.Fatal("HPF profile should be distinguishable")
+	}
+}
+
+func TestScaledCM2(t *testing.T) {
+	for _, pe := range []int{1024, 8192, 65536} {
+		p := ScaledCM2(pe)
+		if p.PE != pe {
+			t.Fatalf("ScaledCM2(%d).PE = %d", pe, p.PE)
+		}
+		if p.TElem != Get(CM2_8K).TElem {
+			t.Fatal("scaling should keep per-element cost")
+		}
+	}
+	// More PEs strictly help large elementwise ops.
+	if ScaledCM2(65536).ElemOp(1<<18) >= ScaledCM2(1024).ElemOp(1<<18) {
+		t.Fatal("scaling has no effect on big ops")
+	}
+}

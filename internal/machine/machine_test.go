@@ -1,0 +1,141 @@
+package machine
+
+import "testing"
+
+func TestAllConfigsHaveProfiles(t *testing.T) {
+	for _, c := range AllConfigs() {
+		p := Get(c)
+		if p.Name != c.String() {
+			t.Errorf("%v: profile name %q", c, p.Name)
+		}
+		if p.PE <= 0 {
+			t.Errorf("%v: PE = %d", c, p.PE)
+		}
+		if c.Short() == "" {
+			t.Errorf("%v: empty short name", c)
+		}
+	}
+}
+
+func TestIsMessagePassing(t *testing.T) {
+	if CM2_8K.IsMessagePassing() || CM2_16K.IsMessagePassing() || CM5_CMF.IsMessagePassing() {
+		t.Fatal("data-parallel config reported as MP")
+	}
+	if !CM5_LP.IsMessagePassing() || !CM5_Async.IsMessagePassing() {
+		t.Fatal("MP config not reported as MP")
+	}
+}
+
+func TestGetReturnsFreshCopies(t *testing.T) {
+	a := Get(CM2_8K)
+	b := Get(CM2_8K)
+	a.TElem = 999
+	if b.TElem == 999 {
+		t.Fatal("Get returns shared profile state")
+	}
+}
+
+func TestGetPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Get(99) did not panic")
+		}
+	}()
+	Get(ConfigID(99))
+}
+
+func TestElemOpScaling(t *testing.T) {
+	p := &Profile{PE: 100, TElem: 1, TSync: 10}
+	if got := p.ElemOp(100); got != 11 {
+		t.Fatalf("ElemOp(100) = %v", got)
+	}
+	if got := p.ElemOp(101); got != 12 {
+		t.Fatalf("ElemOp(101) = %v (ceil division)", got)
+	}
+	if got := p.ElemOp(1); got != 11 {
+		t.Fatalf("ElemOp(1) = %v", got)
+	}
+}
+
+func TestNewsOp(t *testing.T) {
+	p := &Profile{PE: 10, TNews: 2, TSync: 1}
+	if got := p.NewsOp(10, 3); got != 7 {
+		t.Fatalf("NewsOp = %v", got)
+	}
+	if got := p.NewsOp(10, -3); got != 7 {
+		t.Fatalf("negative distance: %v", got)
+	}
+	if got := p.NewsOp(10, 0); got != 1 {
+		t.Fatalf("zero distance: %v", got)
+	}
+}
+
+func TestRouterAndScanOps(t *testing.T) {
+	p := &Profile{PE: 4, TRouter: 1, RouterLatency: 5, TElem: 1, TScan: 2, TSync: 1}
+	if got := p.RouterOp(8); got != 7 {
+		t.Fatalf("RouterOp = %v", got)
+	}
+	// ScanOp: ceil(8/4)*1 + log2(4)*2 + 1 = 2 + 4 + 1.
+	if got := p.ScanOp(8); got != 7 {
+		t.Fatalf("ScanOp = %v", got)
+	}
+}
+
+func TestSortOpGrowth(t *testing.T) {
+	p := Get(CM2_8K)
+	small, big := p.SortOp(100), p.SortOp(10000)
+	if big <= small {
+		t.Fatal("sort cost must grow with n")
+	}
+	if p.SortOp(1) <= 0 || p.SortOp(0) <= 0 {
+		t.Fatal("degenerate sort should still cost a sync")
+	}
+}
+
+func TestMsgCost(t *testing.T) {
+	p := &Profile{Alpha: 10, Beta: 2}
+	if got := p.MsgCost(3); got != 16 {
+		t.Fatalf("MsgCost = %v", got)
+	}
+	if got := p.MsgCost(0); got != 10 {
+		t.Fatalf("empty MsgCost = %v", got)
+	}
+}
+
+func TestCalibrationOrderings(t *testing.T) {
+	// Structural sanity of the calibrated profiles.
+	p8, p16 := Get(CM2_8K), Get(CM2_16K)
+	if p16.PE <= p8.PE {
+		t.Fatal("16K must have more PEs than 8K")
+	}
+	// A big elementwise op is cheaper on more processors.
+	if p16.ElemOp(1<<16) >= p8.ElemOp(1<<16) {
+		t.Fatal("64K-element op should be cheaper on 16K procs")
+	}
+	// CM5 CMF per-op overhead exceeds CM2's (the paper's housekeeping).
+	if Get(CM5_CMF).TSync <= p8.TSync {
+		t.Fatal("CM5 CMF should have the larger per-op overhead")
+	}
+	mp := Get(CM5_LP)
+	if mp.TNode <= 0 || mp.Alpha <= 0 {
+		t.Fatal("MP profile missing node parameters")
+	}
+}
+
+func TestConfigStrings(t *testing.T) {
+	if ConfigID(42).String() == "" || ConfigID(42).Short() == "" {
+		t.Fatal("unknown configs should still format")
+	}
+	if CM2_8K.String() != "CM Fortran on CM-2 ( 8K procs)" {
+		t.Fatalf("paper label changed: %q", CM2_8K.String())
+	}
+}
+
+func TestCeilDivPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ceilDiv by zero did not panic")
+		}
+	}()
+	(&Profile{PE: 0}).ElemOp(5)
+}

@@ -1,0 +1,630 @@
+// Package mpengine implements the paper's message-passing (F77 + CMMD)
+// split-and-merge program on the mpvm cluster.
+//
+// The node program follows the paper's steps 0–5:
+//
+//  0. The image is block-mapped onto a P1×P2 node grid; each node holds an
+//     (N/P1)×(N/P2) sub-image, preserving adjacency between blocks.
+//  1. Each node splits its sub-image independently. Because tile sides are
+//     multiples of the square-size cap, the union of the local splits is
+//     exactly the global split.
+//  2. Each node builds the vertices and edges of its local graph; boundary
+//     strips (labels plus region intervals) are exchanged with the four
+//     grid neighbours to create cross-node edges.
+//  3. Nodes compute merge choices for the vertices they own, route each
+//     choice to the chosen neighbour's owner, and detect mutual pairs.
+//  4. Merge events (representative, loser, new interval) are globally
+//     concatenated so every node can relabel its edges; each loser's
+//     adjacency list is handed over to its representative's owner.
+//  5. Steps 3–4 repeat while any node still has an active edge.
+//
+// Irregular communications (choice routing, adjacency handover) run under
+// either the Linear Permutation or the Async scheme — the comparison at the
+// heart of the paper's CM-5 message-passing results.
+//
+// Vertex ownership is static: a region is owned by the node whose tile
+// contains its origin pixel; when two regions merge, the representative
+// (smaller ID) keeps its owner. Choices use the same hash-based tie
+// semantics as the sequential kernel, so the engine produces segmentations
+// identical to the sequential engine for every policy and seed.
+package mpengine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"regiongrow/internal/core"
+	"regiongrow/internal/homog"
+	"regiongrow/internal/machine"
+	"regiongrow/internal/mpvm"
+	"regiongrow/internal/pixmap"
+	"regiongrow/internal/quadsplit"
+	"regiongrow/internal/rag"
+)
+
+// Engine is the message-passing engine bound to a configuration and
+// communication scheme.
+type Engine struct {
+	cfg    machine.ConfigID
+	scheme mpvm.Scheme
+	nodes  int
+	prof   *machine.Profile
+}
+
+// New returns a message-passing engine for CM5_LP or CM5_Async with the
+// paper's 32 nodes.
+func New(cfg machine.ConfigID) (*Engine, error) {
+	switch cfg {
+	case machine.CM5_LP:
+		return &Engine{cfg: cfg, scheme: mpvm.LP, nodes: 32, prof: machine.Get(cfg)}, nil
+	case machine.CM5_Async:
+		return &Engine{cfg: cfg, scheme: mpvm.Async, nodes: 32, prof: machine.Get(cfg)}, nil
+	default:
+		return nil, fmt.Errorf("mpengine: %v is not a message-passing configuration", cfg)
+	}
+}
+
+// NewCustom returns an engine with an explicit node count, scheme, and
+// profile — used by scaling ablations and tests.
+func NewCustom(nodes int, scheme mpvm.Scheme, prof *machine.Profile) *Engine {
+	return &Engine{cfg: machine.CM5_LP, scheme: scheme, nodes: nodes, prof: prof}
+}
+
+// Name implements core.Engine.
+func (e *Engine) Name() string {
+	return fmt.Sprintf("message-passing/%dn-%s", e.nodes, e.scheme)
+}
+
+// Scheme returns the engine's communication scheme.
+func (e *Engine) Scheme() mpvm.Scheme { return e.scheme }
+
+// grid geometry of the node mesh.
+type geom struct {
+	W, H   int
+	P1, P2 int // node rows, node cols
+	tw, th int // tile width, height
+}
+
+func (g geom) owner(id int32) int {
+	x := int(id) % g.W
+	y := int(id) / g.W
+	return (y/g.th)*g.P2 + x/g.tw
+}
+
+func (g geom) tileOrigin(rank int) (x0, y0 int) {
+	return (rank % g.P2) * g.tw, (rank / g.P2) * g.th
+}
+
+// factor splits q into P1×P2, both powers of two, as square as possible.
+func factor(q int) (p1, p2 int, err error) {
+	if q <= 0 || q&(q-1) != 0 {
+		return 0, 0, fmt.Errorf("mpengine: node count %d is not a power of two", q)
+	}
+	k := 0
+	for 1<<k < q {
+		k++
+	}
+	p1 = 1 << (k / 2)
+	p2 = q / p1
+	return p1, p2, nil
+}
+
+// Segment implements core.Engine.
+func (e *Engine) Segment(im *pixmap.Image, cfg core.Config) (*core.Segmentation, error) {
+	p1, p2, err := factor(e.nodes)
+	if err != nil {
+		return nil, err
+	}
+	if im.W%p2 != 0 || im.H%p1 != 0 {
+		return nil, fmt.Errorf("mpengine: image %dx%d not divisible by node grid %dx%d", im.W, im.H, p1, p2)
+	}
+	g := geom{W: im.W, H: im.H, P1: p1, P2: p2, tw: im.W / p2, th: im.H / p1}
+	cap := quadsplit.EffectiveCap(quadsplit.Options{MaxSquare: cfg.MaxSquare}, im.W, im.H)
+	if g.tw%cap != 0 || g.th%cap != 0 {
+		return nil, fmt.Errorf("mpengine: tile %dx%d not aligned to square cap %d", g.tw, g.th, cap)
+	}
+
+	out := make([]int32, im.W*im.H) // nodes write disjoint tiles
+	results := make([]nodeResult, e.nodes)
+	var wallMu sync.Mutex
+	var splitWallMax time.Duration
+
+	t0 := time.Now()
+	_, clusterStats, err := mpvm.Run(e.nodes, e.prof, func(n *mpvm.Node) error {
+		st := &nodeState{n: n, g: g, e: e, im: im, cfg: cfg, cap: cap, crit: cfg.Criterion()}
+		tSplit := time.Now()
+		st.splitLocal()
+		st.splitIters = n.AllReduceMax(st.localIters)
+		st.numSquares = n.AllReduceSum(len(st.ownedIDs))
+		n.Barrier()
+		simSplit := n.Clock()
+		wallMu.Lock()
+		if d := time.Since(tSplit); d > splitWallMax {
+			splitWallMax = d
+		}
+		wallMu.Unlock()
+
+		st.buildGraph()
+		st.mergeLoop()
+		st.writeLabels(out)
+		n.Barrier()
+		results[n.Rank] = nodeResult{
+			simSplit: simSplit,
+			simTotal: n.Clock(),
+			iters:    st.stats.Iterations,
+			merges:   st.stats.MergesPerIter,
+			forced:   st.stats.ForcedResolutions,
+			splitIt:  st.splitIters,
+			squares:  st.numSquares,
+		}
+		return nil
+	})
+	totalWall := time.Since(t0)
+	if err != nil {
+		return nil, err
+	}
+
+	r0 := results[0]
+	seg := &core.Segmentation{
+		W: im.W, H: im.H,
+		Labels:            out,
+		SplitIterations:   r0.splitIt,
+		MergeIterations:   r0.iters,
+		SquaresAfterSplit: r0.squares,
+		MergesPerIter:     r0.merges,
+		ForcedResolutions: r0.forced,
+		SplitWall:         splitWallMax,
+		MergeWall:         totalWall - splitWallMax,
+		SplitSim:          r0.simSplit,
+		MergeSim:          r0.simTotal - r0.simSplit,
+		Comm: &core.CommStats{
+			Messages:  clusterStats.Messages,
+			Words:     clusterStats.Words,
+			Barriers:  clusterStats.Barriers,
+			Gathers:   clusterStats.Gathers,
+			Reduces:   clusterStats.Reduces,
+			LPSteps:   clusterStats.LPSteps,
+			Exchanges: clusterStats.Exchanges,
+		},
+	}
+	seg.FillRegions(im)
+	return seg, nil
+}
+
+type nodeResult struct {
+	simSplit, simTotal float64
+	iters              int
+	merges             []int
+	forced             int
+	splitIt            int
+	squares            int
+}
+
+// nodeState is the per-node program state.
+type nodeState struct {
+	n    *mpvm.Node
+	g    geom
+	e    *Engine
+	im   *pixmap.Image
+	cfg  core.Config
+	cap  int
+	crit homog.Criterion
+
+	x0, y0     int
+	labels     []int32 // local tile labels (global region IDs), tw×th
+	localIters int
+	splitIters int
+	numSquares int
+
+	ownedIDs []int32                      // owned vertex IDs, kept sorted
+	iv       map[int32]homog.Interval     // intervals of every known vertex
+	adj      map[int32]map[int32]struct{} // adjacency of owned vertices
+
+	asg   *rag.Assignments
+	stats rag.MergeStats
+	tag   int // monotonically increasing exchange tag
+}
+
+// splitLocal is step 1: split the node's sub-image independently.
+func (st *nodeState) splitLocal() {
+	g := st.g
+	st.x0, st.y0 = g.tileOrigin(st.n.Rank)
+	sub, err := st.im.SubImage(st.x0, st.y0, g.tw, g.th)
+	if err != nil {
+		panic(err)
+	}
+	res := quadsplit.Split(sub, st.crit, quadsplit.Options{MaxSquare: st.cap})
+	st.localIters = res.Iterations
+	// The F77 node code walks its tile once per level testing quad-blocks:
+	// charge ~8 scalar ops per pixel plus a fixed loop-setup cost per
+	// executed level.
+	st.n.Charge(g.tw * g.th * res.Iterations * 8)
+	st.n.ChargeTime(float64(res.Iterations) * st.e.prof.TSplitLevel)
+
+	// Convert local labels to global region IDs.
+	st.labels = make([]int32, g.tw*g.th)
+	for ly := 0; ly < g.th; ly++ {
+		for lx := 0; lx < g.tw; lx++ {
+			l := res.Labels[ly*g.tw+lx]
+			gx := st.x0 + int(l)%g.tw
+			gy := st.y0 + int(l)/g.tw
+			st.labels[ly*g.tw+lx] = int32(gy*g.W + gx)
+		}
+	}
+	// Owned vertices and their intervals.
+	st.iv = make(map[int32]homog.Interval)
+	st.adj = make(map[int32]map[int32]struct{})
+	for _, sq := range res.Squares(sub) {
+		gid := int32((st.y0+sq.Y)*g.W + (st.x0 + sq.X))
+		st.iv[gid] = sq.IV
+		st.adj[gid] = make(map[int32]struct{})
+		st.ownedIDs = append(st.ownedIDs, gid)
+	}
+	sort.Slice(st.ownedIDs, func(i, j int) bool { return st.ownedIDs[i] < st.ownedIDs[j] })
+}
+
+// buildGraph is step 2: internal edges from the tile, cross edges from
+// boundary strips exchanged with grid neighbours.
+func (st *nodeState) buildGraph() {
+	g := st.g
+	// Internal edges.
+	for ly := 0; ly < g.th; ly++ {
+		for lx := 0; lx < g.tw; lx++ {
+			a := st.labels[ly*g.tw+lx]
+			if lx+1 < g.tw {
+				if b := st.labels[ly*g.tw+lx+1]; a != b {
+					st.addEdge(a, b)
+				}
+			}
+			if ly+1 < g.th {
+				if b := st.labels[(ly+1)*g.tw+lx]; a != b {
+					st.addEdge(a, b)
+				}
+			}
+		}
+	}
+	st.n.Charge(g.tw * g.th * 4)
+
+	// Boundary strips: for each of the four neighbours, send the labels
+	// and intervals of my border pixels facing them; receive theirs; zip
+	// into cross edges. Regular neighbour communication (not
+	// scheme-dependent), as in the paper's step 2.
+	row, col := st.n.Rank/g.P2, st.n.Rank%g.P2
+	type dir struct {
+		drow, dcol int
+		tag        int
+	}
+	dirs := []dir{{0, 1, 1}, {0, -1, 2}, {1, 0, 3}, {-1, 0, 4}}
+	for _, d := range dirs {
+		nr, nc := row+d.drow, col+d.dcol
+		if nr < 0 || nr >= g.P1 || nc < 0 || nc >= g.P2 {
+			continue
+		}
+		peer := nr*g.P2 + nc
+		strip := st.borderStrip(d.drow, d.dcol)
+		payload := make([]int32, 0, len(strip)*3)
+		for _, id := range strip {
+			iv := st.iv[id]
+			payload = append(payload, id, int32(iv.Lo), int32(iv.Hi))
+		}
+		st.n.Send(peer, 100+d.tag, payload)
+	}
+	for _, d := range dirs {
+		nr, nc := row+d.drow, col+d.dcol
+		if nr < 0 || nr >= g.P1 || nc < 0 || nc >= g.P2 {
+			continue
+		}
+		peer := nr*g.P2 + nc
+		// The peer sends with the opposite direction's tag.
+		opp := map[int]int{1: 2, 2: 1, 3: 4, 4: 3}[d.tag]
+		m := st.n.Recv(peer, 100+opp)
+		mine := st.borderStrip(d.drow, d.dcol)
+		if len(m.Data) != len(mine)*3 {
+			panic(fmt.Sprintf("mpengine: boundary strip length %d, want %d", len(m.Data), len(mine)*3))
+		}
+		for i, myID := range mine {
+			theirID := m.Data[3*i]
+			theirIV := homog.Interval{Lo: uint8(m.Data[3*i+1]), Hi: uint8(m.Data[3*i+2])}
+			if _, ok := st.iv[theirID]; !ok {
+				st.iv[theirID] = theirIV
+			}
+			if myID != theirID {
+				st.addEdge(myID, theirID)
+			}
+		}
+	}
+	st.n.Barrier()
+}
+
+// borderStrip returns, pixel by pixel, the labels along the tile border
+// facing direction (drow, dcol).
+func (st *nodeState) borderStrip(drow, dcol int) []int32 {
+	g := st.g
+	var out []int32
+	switch {
+	case dcol == 1: // east: last column, top to bottom
+		for ly := 0; ly < g.th; ly++ {
+			out = append(out, st.labels[ly*g.tw+g.tw-1])
+		}
+	case dcol == -1: // west: first column
+		for ly := 0; ly < g.th; ly++ {
+			out = append(out, st.labels[ly*g.tw])
+		}
+	case drow == 1: // south: last row, left to right
+		out = append(out, st.labels[(g.th-1)*g.tw:g.th*g.tw]...)
+	default: // north: first row
+		out = append(out, st.labels[:g.tw]...)
+	}
+	return out
+}
+
+// addEdge records adjacency on whichever endpoints this node owns.
+func (st *nodeState) addEdge(a, b int32) {
+	if s, ok := st.adj[a]; ok {
+		s[b] = struct{}{}
+	}
+	if s, ok := st.adj[b]; ok {
+		s[a] = struct{}{}
+	}
+}
+
+// weight returns the merge weight of edge (a, b) from the interval table.
+func (st *nodeState) weight(a, b int32) int {
+	return homog.Weight(st.iv[a], st.iv[b])
+}
+
+// mergeLoop is steps 3–5.
+func (st *nodeState) mergeLoop() {
+	st.asg = rag.NewAssignments()
+	stalls := 0
+	for {
+		// Termination: any active edge anywhere? (The owned-side view is
+		// complete: every edge has at least one owned endpoint on some
+		// node.)
+		anyActive := false
+		scanned := 0
+		for _, v := range st.ownedIDs {
+			if _, alive := st.adj[v]; !alive {
+				continue
+			}
+			for w := range st.adj[v] {
+				scanned++
+				if st.crit.Homogeneous(st.iv[v].Union(st.iv[w])) {
+					anyActive = true
+					break
+				}
+			}
+			if anyActive {
+				break
+			}
+		}
+		st.n.Charge(scanned * 4)
+		if !st.n.AllReduceOr(anyActive) {
+			break
+		}
+		st.stats.Iterations++
+		// Per-iteration node-program overhead (see machine.Profile).
+		st.n.ChargeTime(st.e.prof.TMergeIterFixed +
+			st.e.prof.TMergeIterPixel*float64(st.g.tw*st.g.th))
+		policy := st.cfg.Tie
+		if policy == rag.Random && stalls >= 3 {
+			policy = rag.SmallestID
+			st.stats.ForcedResolutions++
+			stalls = 0
+		}
+
+		merged := st.mergeIteration(policy)
+		st.stats.MergesPerIter = append(st.stats.MergesPerIter, merged)
+		if merged == 0 {
+			stalls++
+		} else {
+			stalls = 0
+		}
+	}
+}
+
+// mergeIteration runs one choice/merge/update round and returns the global
+// number of merges.
+func (st *nodeState) mergeIteration(policy rag.TiePolicy) int {
+	g := st.g
+	iter := st.stats.Iterations
+
+	// Step 3a: choices for owned, alive vertices.
+	choice := make(map[int32]int32)
+	var tied []int32
+	scanned := 0
+	for _, v := range st.ownedIDs {
+		adj, alive := st.adj[v]
+		if !alive {
+			continue
+		}
+		bestW := -1
+		tied = tied[:0]
+		for w := range adj {
+			scanned++
+			wt := st.weight(v, w)
+			if !st.crit.Homogeneous(st.iv[v].Union(st.iv[w])) {
+				continue
+			}
+			switch {
+			case bestW < 0 || wt < bestW:
+				bestW = wt
+				tied = tied[:0]
+				tied = append(tied, w)
+			case wt == bestW:
+				tied = append(tied, w)
+			}
+		}
+		if bestW >= 0 {
+			choice[v] = rag.PickTied(tied, policy, st.cfg.Seed, iter, v)
+		}
+	}
+	st.n.Charge(scanned*6 + len(choice)*4)
+
+	// Step 3b: route each choice (v, w) to owner(w).
+	outbound := make(map[int][]int32)
+	suitors := make(map[int32][]int32) // w -> suitors v
+	for v, w := range choice {
+		o := g.owner(w)
+		if o == st.n.Rank {
+			suitors[w] = append(suitors[w], v)
+		} else {
+			outbound[o] = append(outbound[o], v, w)
+		}
+	}
+	st.tag += 64
+	for _, data := range st.n.Exchange(outbound, st.e.scheme, 1000+st.tag) {
+		for i := 0; i+1 < len(data); i += 2 {
+			suitors[data[i+1]] = append(suitors[data[i+1]], data[i])
+		}
+	}
+
+	// Step 3c: mutual pairs. Both owners detect; the loser's owner emits
+	// the event.
+	var events []int32 // flat (rep, loser, lo, hi)
+	for v, w := range choice {
+		if w >= v {
+			continue // emit from the loser side only: loser = max(v, w) = v
+		}
+		mutual := false
+		if g.owner(w) == st.n.Rank {
+			mutual = choice[w] == v
+		} else {
+			for _, s := range suitors[v] {
+				if s == w {
+					mutual = true
+					break
+				}
+			}
+		}
+		if mutual {
+			union := st.iv[v].Union(st.iv[w])
+			events = append(events, w, v, int32(union.Lo), int32(union.Hi))
+		}
+	}
+
+	// Step 4a: globally concatenate merge events.
+	all := st.n.AllGather(events)
+	mergeMap := make(map[int32]int32)
+	merges := 0
+	for _, data := range all {
+		for i := 0; i+3 < len(data); i += 4 {
+			rep, loser := data[i], data[i+1]
+			union := homog.Interval{Lo: uint8(data[i+2]), Hi: uint8(data[i+3])}
+			mergeMap[loser] = rep
+			// Every node records the representative's new interval: an
+			// edge relabeled to rep below needs it for future weights.
+			st.iv[rep] = union
+			st.asg.Record(loser, rep)
+			merges++
+		}
+	}
+	st.n.Charge(merges * 8)
+
+	// Step 4b: relabel owned adjacency through this iteration's map.
+	// Mutual pairs form a matching, so one relabeling level suffices.
+	relabeled := 0
+	for v, adjSet := range st.adj {
+		var add, del []int32
+		for w := range adjSet {
+			if r, ok := mergeMap[w]; ok {
+				del = append(del, w)
+				if r != v {
+					add = append(add, r)
+				}
+				relabeled++
+			}
+		}
+		for _, w := range del {
+			delete(adjSet, w)
+		}
+		for _, r := range add {
+			adjSet[r] = struct{}{}
+		}
+	}
+	st.n.Charge(relabeled * 6)
+
+	// Step 4c: hand the loser's adjacency to the representative's owner.
+	handover := make(map[int][]int32)
+	for loser, rep := range mergeMap {
+		adjSet, ok := st.adj[loser]
+		if !ok {
+			continue // not owned here
+		}
+		o := g.owner(rep)
+		if o == st.n.Rank {
+			// Local transfer.
+			repAdj := st.adj[rep]
+			if repAdj == nil {
+				repAdj = make(map[int32]struct{})
+				st.adj[rep] = repAdj
+			}
+			for w := range adjSet {
+				if w != rep {
+					repAdj[w] = struct{}{}
+				}
+			}
+		} else {
+			payload := []int32{rep, int32(len(adjSet))}
+			for w := range adjSet {
+				iv := st.iv[w]
+				payload = append(payload, w, int32(iv.Lo), int32(iv.Hi))
+			}
+			handover[o] = append(handover[o], payload...)
+		}
+		delete(st.adj, loser)
+	}
+	st.tag += 64
+	for _, data := range st.n.Exchange(handover, st.e.scheme, 2000+st.tag) {
+		i := 0
+		for i < len(data) {
+			rep, cnt := data[i], int(data[i+1])
+			i += 2
+			repAdj := st.adj[rep]
+			if repAdj == nil {
+				repAdj = make(map[int32]struct{})
+				st.adj[rep] = repAdj
+			}
+			for k := 0; k < cnt; k++ {
+				w := data[i]
+				iv := homog.Interval{Lo: uint8(data[i+1]), Hi: uint8(data[i+2])}
+				i += 3
+				if w == rep {
+					continue
+				}
+				// Incoming neighbours were relabeled by the sender with
+				// the same iteration map; record a mirror interval if new.
+				if _, ok := st.iv[w]; !ok {
+					st.iv[w] = iv
+				}
+				repAdj[w] = struct{}{}
+			}
+		}
+	}
+
+	// Losers no longer exist as vertices anywhere; drop their mirrors.
+	for loser := range mergeMap {
+		delete(st.iv, loser)
+	}
+	return merges
+}
+
+// writeLabels resolves the per-pixel final labels into the shared output.
+func (st *nodeState) writeLabels(out []int32) {
+	g := st.g
+	cache := make(map[int32]int32)
+	for ly := 0; ly < g.th; ly++ {
+		for lx := 0; lx < g.tw; lx++ {
+			l := st.labels[ly*g.tw+lx]
+			r, ok := cache[l]
+			if !ok {
+				r = st.asg.Find(l)
+				cache[l] = r
+			}
+			out[(st.y0+ly)*g.W+(st.x0+lx)] = r
+		}
+	}
+	st.n.Charge(g.tw * g.th * 2)
+}

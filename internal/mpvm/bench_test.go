@@ -1,0 +1,73 @@
+package mpvm
+
+import (
+	"testing"
+
+	"regiongrow/internal/machine"
+)
+
+// Micro-benchmarks for the cluster primitives: ns/op is the host-side
+// goroutine cost of one full Run including the measured operations.
+
+func benchRun(b *testing.B, q int, f func(n *Node) error) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Run(q, machine.Get(machine.CM5_Async), f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBarrier(b *testing.B) {
+	benchRun(b, 8, func(n *Node) error {
+		for i := 0; i < 100; i++ {
+			n.Barrier()
+		}
+		return nil
+	})
+}
+
+func BenchmarkAllGather(b *testing.B) {
+	payload := make([]int32, 64)
+	benchRun(b, 8, func(n *Node) error {
+		for i := 0; i < 20; i++ {
+			n.AllGather(payload)
+		}
+		return nil
+	})
+}
+
+func BenchmarkExchangeLP(b *testing.B) {
+	benchRun(b, 8, func(n *Node) error {
+		out := map[int][]int32{(n.Rank + 1) % 8: {1, 2, 3}}
+		for i := 0; i < 10; i++ {
+			n.Exchange(out, LP, 100*i)
+		}
+		return nil
+	})
+}
+
+func BenchmarkExchangeAsync(b *testing.B) {
+	benchRun(b, 8, func(n *Node) error {
+		out := map[int][]int32{(n.Rank + 1) % 8: {1, 2, 3}}
+		for i := 0; i < 10; i++ {
+			n.Exchange(out, Async, 100*i)
+		}
+		return nil
+	})
+}
+
+func BenchmarkPingPong(b *testing.B) {
+	benchRun(b, 2, func(n *Node) error {
+		for i := 0; i < 100; i++ {
+			if n.Rank == 0 {
+				n.Send(1, i, []int32{1})
+				n.Recv(1, i)
+			} else {
+				m := n.Recv(0, i)
+				n.Send(0, i, m.Data)
+			}
+		}
+		return nil
+	})
+}

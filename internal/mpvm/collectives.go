@@ -1,0 +1,91 @@
+package mpvm
+
+// Additional CMMD-style collectives: broadcast from a root, prefix scans
+// across ranks, and a gather-to-root. Like the reductions, they ride the
+// CM-5 control network in the cost model.
+
+// Broadcast distributes root's data to every node; every node returns the
+// broadcast value. Nodes other than root pass their argument unused.
+func (n *Node) Broadcast(root int, data []int32) []int32 {
+	cl := n.cl
+	if root < 0 || root >= cl.Q {
+		panic("mpvm: broadcast from invalid root")
+	}
+	cl.mu.Lock()
+	cl.resetCollective()
+	if n.Rank == root {
+		cl.gatherBuf[0] = data
+	}
+	cl.contrib++
+	cl.stats.Gathers++
+	cl.mu.Unlock()
+	n.Barrier()
+	cl.mu.Lock()
+	out := cl.gatherBuf[0]
+	cl.mu.Unlock()
+	n.Barrier()
+	n.clock += cl.prof.TBarrier + cl.prof.Beta*float64(len(out))
+	return out
+}
+
+// ScanSum returns the inclusive prefix sum of v across ranks: node k
+// receives v₀ + … + v_k. The CM-5 control network computed scans in
+// hardware.
+func (n *Node) ScanSum(v int) int {
+	cl := n.cl
+	cl.mu.Lock()
+	cl.resetCollective()
+	if cl.gatherBuf[n.Rank] == nil {
+		cl.gatherBuf[n.Rank] = []int32{int32(v)}
+	}
+	cl.contrib++
+	cl.stats.Reduces++
+	cl.mu.Unlock()
+	n.Barrier()
+	cl.mu.Lock()
+	sum := 0
+	for r := 0; r <= n.Rank; r++ {
+		if len(cl.gatherBuf[r]) > 0 {
+			sum += int(cl.gatherBuf[r][0])
+		}
+	}
+	cl.mu.Unlock()
+	n.Barrier()
+	n.clock += cl.prof.TBarrier
+	return sum
+}
+
+// GatherTo collects every node's slice at the root, which receives the
+// contributions indexed by rank; other nodes receive nil. Unlike
+// AllGather, only the root pays the full data-volume cost.
+func (n *Node) GatherTo(root int, data []int32) [][]int32 {
+	cl := n.cl
+	if root < 0 || root >= cl.Q {
+		panic("mpvm: gather to invalid root")
+	}
+	cl.mu.Lock()
+	cl.resetCollective()
+	cl.gatherBuf[n.Rank] = data
+	cl.contrib++
+	cl.stats.Gathers++
+	cl.mu.Unlock()
+	n.Barrier()
+	var out [][]int32
+	total := 0
+	if n.Rank == root {
+		cl.mu.Lock()
+		out = make([][]int32, cl.Q)
+		copy(out, cl.gatherBuf)
+		for _, d := range out {
+			total += len(d)
+		}
+		cl.mu.Unlock()
+	}
+	n.Barrier()
+	if n.Rank == root {
+		n.clock += cl.prof.TBarrier + cl.prof.Beta*float64(total)
+	} else {
+		n.clock += cl.prof.TBarrier + cl.prof.Beta*float64(len(data))
+	}
+	return out
+}

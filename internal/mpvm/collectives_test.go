@@ -1,0 +1,180 @@
+package mpvm
+
+import (
+	"fmt"
+	"testing"
+
+	"regiongrow/internal/prand"
+)
+
+func TestBroadcast(t *testing.T) {
+	_, _, err := Run(4, prof(), func(n *Node) error {
+		var payload []int32
+		if n.Rank == 2 {
+			payload = []int32{11, 22}
+		}
+		got := n.Broadcast(2, payload)
+		if len(got) != 2 || got[0] != 11 || got[1] != 22 {
+			return fmt.Errorf("rank %d got %v", n.Rank, got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBroadcastRepeated(t *testing.T) {
+	_, _, err := Run(3, prof(), func(n *Node) error {
+		for round := 0; round < 4; round++ {
+			root := round % 3
+			var payload []int32
+			if n.Rank == root {
+				payload = []int32{int32(round * 100)}
+			}
+			got := n.Broadcast(root, payload)
+			if len(got) != 1 || got[0] != int32(round*100) {
+				return fmt.Errorf("round %d rank %d got %v", round, n.Rank, got)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScanSum(t *testing.T) {
+	_, _, err := Run(5, prof(), func(n *Node) error {
+		got := n.ScanSum(n.Rank + 1) // contributions 1..5
+		want := (n.Rank + 1) * (n.Rank + 2) / 2
+		if got != want {
+			return fmt.Errorf("rank %d scan = %d, want %d", n.Rank, got, want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGatherTo(t *testing.T) {
+	_, _, err := Run(4, prof(), func(n *Node) error {
+		out := n.GatherTo(1, []int32{int32(n.Rank * 3)})
+		if n.Rank != 1 {
+			if out != nil {
+				return fmt.Errorf("non-root received data")
+			}
+			return nil
+		}
+		for r := 0; r < 4; r++ {
+			if len(out[r]) != 1 || out[r][0] != int32(r*3) {
+				return fmt.Errorf("root saw %v from %d", out[r], r)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvalidRootPanicsPropagate(t *testing.T) {
+	_, _, err := Run(2, prof(), func(n *Node) error {
+		n.Broadcast(7, nil)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("invalid root accepted")
+	}
+}
+
+// TestMixedCollectiveStress interleaves every collective kind under random
+// per-node compute skew — the failure-injection test for the barrier and
+// episode machinery (a lost wakeup or stale buffer shows up as a wrong
+// value or a deadlock here).
+func TestMixedCollectiveStress(t *testing.T) {
+	_, _, err := Run(8, prof(), func(n *Node) error {
+		g := prand.New(uint64(n.Rank) + 99)
+		for round := 0; round < 50; round++ {
+			n.Charge(g.Intn(5000)) // skew simulated clocks
+			switch round % 5 {
+			case 0:
+				if got := n.AllReduceSum(1); got != 8 {
+					return fmt.Errorf("round %d: sum %d", round, got)
+				}
+			case 1:
+				out := n.AllGather([]int32{int32(n.Rank + round)})
+				for r := 0; r < 8; r++ {
+					if out[r][0] != int32(r+round) {
+						return fmt.Errorf("round %d: gather %v", round, out)
+					}
+				}
+			case 2:
+				root := round % 8
+				var p []int32
+				if n.Rank == root {
+					p = []int32{int32(round)}
+				}
+				if got := n.Broadcast(root, p); got[0] != int32(round) {
+					return fmt.Errorf("round %d: bcast %v", round, got)
+				}
+			case 3:
+				if got := n.ScanSum(2); got != 2*(n.Rank+1) {
+					return fmt.Errorf("round %d: scan %d", round, got)
+				}
+			case 4:
+				if got := n.AllReduceMax(n.Rank * round); got != 7*round {
+					return fmt.Errorf("round %d: max %d", round, got)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExchangeUnderSkew injects adversarial clock skew and uneven traffic
+// into both exchange schemes and checks the payload relation survives.
+func TestExchangeUnderSkew(t *testing.T) {
+	for _, scheme := range []Scheme{LP, Async} {
+		_, _, err := Run(6, prof(), func(n *Node) error {
+			g := prand.New(uint64(n.Rank)*7 + 1)
+			for round := 0; round < 20; round++ {
+				n.Charge(g.Intn(20000))
+				out := make(map[int][]int32)
+				// Node k sends to its successors a tagged payload.
+				for d := 0; d < 6; d++ {
+					if (n.Rank+d+round)%3 == 0 {
+						out[d] = []int32{int32(n.Rank), int32(d), int32(round)}
+					}
+				}
+				got := n.Exchange(out, scheme, 10000+round*100)
+				for s, data := range got {
+					if (s+n.Rank+round)%3 != 0 {
+						return fmt.Errorf("unexpected sender %d in round %d", s, round)
+					}
+					if len(data) != 3 || data[0] != int32(s) || data[1] != int32(n.Rank) || data[2] != int32(round) {
+						return fmt.Errorf("round %d: bad payload %v from %d", round, data, s)
+					}
+				}
+				// Count expected senders.
+				want := 0
+				for s := 0; s < 6; s++ {
+					if (s+n.Rank+round)%3 == 0 {
+						want++
+					}
+				}
+				if len(got) != want {
+					return fmt.Errorf("round %d: got %d senders, want %d", round, len(got), want)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", scheme, err)
+		}
+	}
+}

@@ -1,0 +1,292 @@
+package pixmap
+
+import (
+	"fmt"
+
+	"regiongrow/internal/prand"
+)
+
+// The paper evaluates six images. Their exact pixel data is lost; these
+// generators reconstruct images matching the published descriptions:
+//
+//	Image 1: 128×128, two nested rectangular regions   (2 final regions)
+//	Image 2: 128×128, a collection of rectangles       (7 final regions)
+//	Image 3: 128×128, a collection of circles          (11 final regions)
+//	Image 4: 256×256, two nested rectangular regions   (2 final regions)
+//	Image 5: 256×256, a collection of rectangles       (7 final regions)
+//	Image 6: 256×256, a "tool"                         (4 final regions)
+//
+// Intensities of adjacent world objects differ by well over the default
+// threshold, and an optional ±noise dither (below the threshold) makes the
+// split stage produce many squares, as in the paper, where nested rectangles
+// at 128² yielded 436 squares rather than the handful a perfectly uniform
+// image would give.
+
+// PaperImageID names one of the six evaluation inputs.
+type PaperImageID int
+
+// The six evaluation images, in the paper's order.
+const (
+	Image1NestedRects128 PaperImageID = iota + 1
+	Image2Rects128
+	Image3Circles128
+	Image4NestedRects256
+	Image5Rects256
+	Image6Tool256
+)
+
+// String returns the paper's name for the image.
+func (id PaperImageID) String() string {
+	switch id {
+	case Image1NestedRects128:
+		return "Image 1: 128x128 two nested rectangular regions"
+	case Image2Rects128:
+		return "Image 2: 128x128 collection of rectangles"
+	case Image3Circles128:
+		return "Image 3: 128x128 collection of circles"
+	case Image4NestedRects256:
+		return "Image 4: 256x256 two nested rectangular regions"
+	case Image5Rects256:
+		return "Image 5: 256x256 collection of rectangles"
+	case Image6Tool256:
+		return "Image 6: 256x256 tool"
+	default:
+		return fmt.Sprintf("PaperImageID(%d)", int(id))
+	}
+}
+
+// Size returns the side length of the (square) image.
+func (id PaperImageID) Size() int {
+	switch id {
+	case Image1NestedRects128, Image2Rects128, Image3Circles128:
+		return 128
+	default:
+		return 256
+	}
+}
+
+// AllPaperImages lists the six evaluation inputs in order.
+func AllPaperImages() []PaperImageID {
+	return []PaperImageID{
+		Image1NestedRects128, Image2Rects128, Image3Circles128,
+		Image4NestedRects256, Image5Rects256, Image6Tool256,
+	}
+}
+
+// GenOptions control the synthetic generators.
+type GenOptions struct {
+	// Noise is the peak amplitude of the deterministic intensity dither
+	// added within each world object. It must stay at or below half the
+	// segmentation threshold so objects remain internally homogeneous
+	// while forcing the split stage to produce many squares.
+	Noise int
+	// Seed selects the dither stream.
+	Seed uint64
+}
+
+// DefaultGenOptions match the evaluation setup: clean synthetic images
+// (the paper's square counts — e.g. 193 squares for the 128² rectangle
+// collection — imply noise-free interiors), seed 1 for any dithered
+// variants requested explicitly.
+func DefaultGenOptions() GenOptions { return GenOptions{Noise: 0, Seed: 1} }
+
+// Generate builds one of the paper's six images.
+func Generate(id PaperImageID, opt GenOptions) *Image {
+	switch id {
+	case Image1NestedRects128:
+		return NestedRects(128, opt)
+	case Image2Rects128:
+		return RectCollection(128, opt)
+	case Image3Circles128:
+		return CircleCollection(128, opt)
+	case Image4NestedRects256:
+		return NestedRects(256, opt)
+	case Image5Rects256:
+		return RectCollection(256, opt)
+	case Image6Tool256:
+		return Tool(256, opt)
+	default:
+		panic(fmt.Sprintf("pixmap: unknown paper image %d", int(id)))
+	}
+}
+
+// dither perturbs every pixel by a deterministic value in [-opt.Noise,
+// +opt.Noise], clamped to [0,255]. The perturbation is a pure function of
+// the coordinates and seed, so regenerated images are identical.
+func dither(im *Image, opt GenOptions) {
+	if opt.Noise <= 0 {
+		return
+	}
+	span := 2*opt.Noise + 1
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			h := prand.Hash3(opt.Seed, uint64(x), uint64(y))
+			d := int(h%uint64(span)) - opt.Noise
+			v := int(im.At(x, y)) + d
+			if v < 0 {
+				v = 0
+			}
+			if v > 255 {
+				v = 255
+			}
+			im.Set(x, y, uint8(v))
+		}
+	}
+}
+
+// NestedRects draws the paper's "two nested rectangular regions": a bright
+// inner rectangle, deliberately misaligned with quadtree block boundaries,
+// inside a dark background frame. Two world regions.
+func NestedRects(n int, opt GenOptions) *Image {
+	im := New(n, n)
+	im.FillRect(0, 0, n, n, 40)
+	// The offset n/8+2 is a multiple of 2 but not of 4, so the split stage
+	// fragments the rectangle's border down to 2-pixel squares — matching
+	// the paper's count of several hundred squares for this image.
+	o := n/8 + 2
+	im.FillRect(o, o, n-o, n-o, 180)
+	dither(im, opt)
+	return im
+}
+
+// RectCollection draws six rectangles of distinct intensities on a
+// background: seven world regions, matching images 2 and 5.
+func RectCollection(n int, opt GenOptions) *Image {
+	im := New(n, n)
+	im.FillRect(0, 0, n, n, 20)
+	s := n / 128 // scale factor: 1 at 128², 2 at 256²
+	type r struct {
+		x0, y0, x1, y1 int
+		v              uint8
+	}
+	// Edges are multiples of 8 (mostly odd multiples, so not 16-aligned):
+	// mixed 16-blocks decompose into exactly four 8-squares and no further,
+	// keeping the square count low, as in the paper (193 at 128²).
+	rects := []r{
+		{8, 8, 40, 32, 60},
+		{56, 8, 120, 24, 100},
+		{8, 48, 40, 104, 140},
+		{48, 40, 88, 88, 180},
+		{96, 40, 120, 88, 220},
+		{24, 104, 112, 120, 250},
+	}
+	for _, q := range rects {
+		im.FillRect(q.x0*s, q.y0*s, q.x1*s, q.y1*s, q.v)
+	}
+	dither(im, opt)
+	return im
+}
+
+// CircleCollection draws ten circles of distinct intensities on a
+// background: eleven world regions, matching image 3. Circles maximise
+// quadtree fragmentation (no axis-aligned borders), which is why the paper's
+// circle image produced the most squares (1732) of the 128² inputs.
+func CircleCollection(n int, opt GenOptions) *Image {
+	im := New(n, n)
+	im.FillRect(0, 0, n, n, 15)
+	s := n / 128
+	type c struct {
+		x, y, r int
+		v       uint8
+	}
+	circles := []c{
+		{20, 20, 11, 45},
+		{60, 18, 12, 70},
+		{102, 22, 13, 95},
+		{24, 60, 12, 120},
+		{64, 58, 13, 145},
+		{105, 62, 11, 170},
+		{20, 102, 12, 195},
+		{58, 100, 12, 220},
+		{97, 104, 11, 240},
+		{120, 120, 6, 255},
+	}
+	for _, q := range circles {
+		im.FillCircle(q.x*s, q.y*s, q.r*s, q.v)
+	}
+	dither(im, opt)
+	return im
+}
+
+// Tool draws a wrench-like silhouette: background, handle+head body, a
+// bright highlight stripe on the handle, and a dark bore hole in the head.
+// Four world regions, matching image 6.
+func Tool(n int, opt GenOptions) *Image {
+	im := New(n, n)
+	im.FillRect(0, 0, n, n, 25)
+	s := n / 256
+	body := uint8(150)
+	// Handle: a long diagonal-ish bar built from overlapping rectangles.
+	for i := 0; i < 10; i++ {
+		x0 := (30 + i*16) * s
+		y0 := (170 - i*10) * s
+		im.FillRect(x0, y0, x0+26*s, y0+22*s, body)
+	}
+	// Head: a disc with a flat notch at the top-right end of the handle.
+	im.FillCircle(205*s, 70*s, 34*s, body)
+	im.FillRect(196*s, 30*s, 240*s, 52*s, 25) // notch carved back to background
+	// Bore hole in the head (distinct dark region enclosed by the body).
+	im.FillCircle(205*s, 74*s, 11*s, 70)
+	// Highlight stripe along the handle (distinct bright region on the
+	// body). Consecutive stripes overlap in both axes (step 16×10 against
+	// size 18×14) so the highlight is a single connected region.
+	for i := 1; i < 9; i++ {
+		x0 := (34 + i*16) * s
+		y0 := (174 - i*10) * s
+		im.FillRect(x0, y0, x0+18*s, y0+14*s, 230)
+	}
+	dither(im, opt)
+	return im
+}
+
+// Uniform returns an n×n image of constant intensity v — the split stage's
+// best case (one square region).
+func Uniform(n int, v uint8) *Image {
+	im := New(n, n)
+	im.FillRect(0, 0, n, n, v)
+	return im
+}
+
+// Checkerboard returns an n×n image alternating intensities a and b at every
+// pixel — the split stage's worst case input (no 2×2 block is homogeneous
+// when |a−b| exceeds the threshold).
+func Checkerboard(n int, a, b uint8) *Image {
+	im := New(n, n)
+	for y := 0; y < n; y++ {
+		for x := 0; x < n; x++ {
+			if (x+y)%2 == 0 {
+				im.Set(x, y, a)
+			} else {
+				im.Set(x, y, b)
+			}
+		}
+	}
+	return im
+}
+
+// Gradient returns an n×n image whose intensity ramps horizontally from 0 to
+// hi. With a small threshold it merges into vertical stripe regions.
+func Gradient(n int, hi uint8) *Image {
+	im := New(n, n)
+	if n == 0 {
+		return im
+	}
+	for x := 0; x < n; x++ {
+		v := uint8(int(hi) * x / max(n-1, 1))
+		for y := 0; y < n; y++ {
+			im.Set(x, y, v)
+		}
+	}
+	return im
+}
+
+// Random returns an n×n image of uniformly random pixels from the seeded
+// stream — adversarial input for property tests.
+func Random(n int, seed uint64) *Image {
+	im := New(n, n)
+	g := prand.New(seed)
+	for i := range im.Pix {
+		im.Pix[i] = uint8(g.Uint64())
+	}
+	return im
+}

@@ -1,0 +1,167 @@
+package pixmap
+
+import "testing"
+
+func TestPaperImageSizes(t *testing.T) {
+	for _, id := range AllPaperImages() {
+		im := Generate(id, DefaultGenOptions())
+		if im.W != id.Size() || im.H != id.Size() {
+			t.Errorf("%v: got %dx%d, want %d", id, im.W, im.H, id.Size())
+		}
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	for _, id := range AllPaperImages() {
+		a := Generate(id, DefaultGenOptions())
+		b := Generate(id, DefaultGenOptions())
+		if !a.Equal(b) {
+			t.Errorf("%v: generation is not deterministic", id)
+		}
+	}
+}
+
+func TestDitherBoundsAndSeed(t *testing.T) {
+	clean := Generate(Image1NestedRects128, GenOptions{Noise: 0})
+	noisy := Generate(Image1NestedRects128, GenOptions{Noise: 3, Seed: 1})
+	if clean.Equal(noisy) {
+		t.Fatal("dither had no effect")
+	}
+	for i := range clean.Pix {
+		d := int(noisy.Pix[i]) - int(clean.Pix[i])
+		if d < -3 || d > 3 {
+			t.Fatalf("dither at %d exceeds amplitude: %d", i, d)
+		}
+	}
+	other := Generate(Image1NestedRects128, GenOptions{Noise: 3, Seed: 2})
+	if noisy.Equal(other) {
+		t.Fatal("different dither seeds gave identical images")
+	}
+}
+
+// distinctObjectLevels counts intensities that occupy at least minArea
+// pixels — a proxy for the number of world objects in a clean image.
+func distinctObjectLevels(im *Image, minArea int) int {
+	h := im.Histogram()
+	n := 0
+	for _, c := range h {
+		if c >= minArea {
+			n++
+		}
+	}
+	return n
+}
+
+func TestObjectCounts(t *testing.T) {
+	cases := []struct {
+		id   PaperImageID
+		want int // world intensity levels incl. background
+	}{
+		{Image1NestedRects128, 2},
+		{Image2Rects128, 7},
+		{Image3Circles128, 11},
+		{Image4NestedRects256, 2},
+		{Image5Rects256, 7},
+		{Image6Tool256, 4},
+	}
+	for _, c := range cases {
+		im := Generate(c.id, GenOptions{Noise: 0})
+		if got := distinctObjectLevels(im, 20); got != c.want {
+			t.Errorf("%v: %d object intensity levels, want %d", c.id, got, c.want)
+		}
+	}
+}
+
+func TestObjectSeparation(t *testing.T) {
+	// Every pair of distinct object intensities must differ by more than
+	// the default threshold (10), so no two clean objects can ever merge.
+	for _, id := range AllPaperImages() {
+		im := Generate(id, GenOptions{Noise: 0})
+		h := im.Histogram()
+		var levels []int
+		for v, c := range h {
+			if c >= 20 {
+				levels = append(levels, v)
+			}
+		}
+		for i := 0; i < len(levels); i++ {
+			for j := i + 1; j < len(levels); j++ {
+				if d := levels[j] - levels[i]; d <= 10 {
+					t.Errorf("%v: object intensities %d and %d differ by only %d", id, levels[i], levels[j], d)
+				}
+			}
+		}
+	}
+}
+
+func TestUniform(t *testing.T) {
+	im := Uniform(16, 42)
+	lo, hi := im.Range()
+	if lo != 42 || hi != 42 {
+		t.Fatalf("Uniform range (%d,%d)", lo, hi)
+	}
+}
+
+func TestCheckerboard(t *testing.T) {
+	im := Checkerboard(8, 10, 200)
+	if im.At(0, 0) != 10 || im.At(1, 0) != 200 || im.At(0, 1) != 200 || im.At(1, 1) != 10 {
+		t.Fatal("checkerboard parity wrong")
+	}
+	// No two 4-adjacent pixels are equal.
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 7; x++ {
+			if im.At(x, y) == im.At(x+1, y) {
+				t.Fatal("horizontal neighbours equal")
+			}
+		}
+	}
+}
+
+func TestGradient(t *testing.T) {
+	im := Gradient(16, 255)
+	if im.At(0, 0) != 0 || im.At(15, 0) != 255 {
+		t.Fatalf("gradient endpoints %d..%d", im.At(0, 0), im.At(15, 0))
+	}
+	for x := 0; x < 15; x++ {
+		if im.At(x, 0) > im.At(x+1, 0) {
+			t.Fatal("gradient not monotone")
+		}
+		if im.At(x, 5) != im.At(x, 9) {
+			t.Fatal("gradient varies vertically")
+		}
+	}
+}
+
+func TestRandomImageSeeded(t *testing.T) {
+	a, b := Random(16, 5), Random(16, 5)
+	if !a.Equal(b) {
+		t.Fatal("Random not deterministic per seed")
+	}
+	c := Random(16, 6)
+	if a.Equal(c) {
+		t.Fatal("Random identical across seeds")
+	}
+}
+
+func TestPaperImageStringAndSize(t *testing.T) {
+	if Image1NestedRects128.Size() != 128 || Image6Tool256.Size() != 256 {
+		t.Fatal("Size wrong")
+	}
+	for _, id := range AllPaperImages() {
+		if id.String() == "" {
+			t.Fatal("empty String")
+		}
+	}
+	if PaperImageID(99).String() == "" {
+		t.Fatal("unknown id should still format")
+	}
+}
+
+func TestGeneratePanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Generate(99) did not panic")
+		}
+	}()
+	Generate(PaperImageID(99), DefaultGenOptions())
+}

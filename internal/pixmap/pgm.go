@@ -1,0 +1,152 @@
+package pixmap
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+)
+
+// PGM input/output. Both the binary (P5) and ASCII (P2) variants of the
+// netpbm gray map format are supported, with comment lines and a maxval of
+// up to 255.
+
+// WritePGM writes the image in binary PGM (P5) format.
+func WritePGM(w io.Writer, im *Image) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "P5\n%d %d\n255\n", im.W, im.H); err != nil {
+		return fmt.Errorf("pixmap: writing PGM header: %w", err)
+	}
+	if _, err := bw.Write(im.Pix); err != nil {
+		return fmt.Errorf("pixmap: writing PGM pixels: %w", err)
+	}
+	return bw.Flush()
+}
+
+// WritePGMPlain writes the image in ASCII PGM (P2) format.
+func WritePGMPlain(w io.Writer, im *Image) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "P2\n%d %d\n255\n", im.W, im.H); err != nil {
+		return fmt.Errorf("pixmap: writing PGM header: %w", err)
+	}
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			sep := " "
+			if x == 0 {
+				sep = ""
+			}
+			if _, err := fmt.Fprintf(bw, "%s%d", sep, im.At(x, y)); err != nil {
+				return fmt.Errorf("pixmap: writing PGM pixels: %w", err)
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return fmt.Errorf("pixmap: writing PGM pixels: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// SavePGM writes the image to a file in binary PGM format.
+func SavePGM(path string, im *Image) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("pixmap: creating %s: %w", path, err)
+	}
+	if err := WritePGM(f, im); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("pixmap: closing %s: %w", path, err)
+	}
+	return nil
+}
+
+// LoadPGM reads a PGM file (P2 or P5).
+func LoadPGM(path string) (*Image, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("pixmap: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	im, err := ReadPGM(f)
+	if err != nil {
+		return nil, fmt.Errorf("pixmap: reading %s: %w", path, err)
+	}
+	return im, nil
+}
+
+// ReadPGM parses a PGM stream in either P2 (ASCII) or P5 (binary) form.
+func ReadPGM(r io.Reader) (*Image, error) {
+	br := bufio.NewReader(r)
+	magic, err := pgmToken(br)
+	if err != nil {
+		return nil, fmt.Errorf("pixmap: reading PGM magic: %w", err)
+	}
+	if magic != "P2" && magic != "P5" {
+		return nil, fmt.Errorf("pixmap: unsupported magic %q (want P2 or P5)", magic)
+	}
+	dims := [3]int{}
+	for i := range dims {
+		tok, err := pgmToken(br)
+		if err != nil {
+			return nil, fmt.Errorf("pixmap: reading PGM header: %w", err)
+		}
+		v, err := strconv.Atoi(tok)
+		if err != nil {
+			return nil, fmt.Errorf("pixmap: bad PGM header token %q: %w", tok, err)
+		}
+		dims[i] = v
+	}
+	w, h, maxval := dims[0], dims[1], dims[2]
+	if w < 0 || h < 0 || maxval <= 0 || maxval > 255 {
+		return nil, fmt.Errorf("pixmap: unsupported PGM geometry %dx%d maxval %d", w, h, maxval)
+	}
+	im := New(w, h)
+	if magic == "P5" {
+		if _, err := io.ReadFull(br, im.Pix); err != nil {
+			return nil, fmt.Errorf("pixmap: reading P5 pixels: %w", err)
+		}
+		return im, nil
+	}
+	for i := range im.Pix {
+		tok, err := pgmToken(br)
+		if err != nil {
+			return nil, fmt.Errorf("pixmap: reading P2 pixel %d: %w", i, err)
+		}
+		v, err := strconv.Atoi(tok)
+		if err != nil || v < 0 || v > maxval {
+			return nil, fmt.Errorf("pixmap: bad P2 pixel %q at index %d", tok, i)
+		}
+		im.Pix[i] = uint8(v)
+	}
+	return im, nil
+}
+
+// pgmToken returns the next whitespace-delimited token, skipping
+// '#'-comments, as required by the netpbm grammar.
+func pgmToken(br *bufio.Reader) (string, error) {
+	var tok []byte
+	for {
+		b, err := br.ReadByte()
+		if err != nil {
+			if err == io.EOF && len(tok) > 0 {
+				return string(tok), nil
+			}
+			return "", err
+		}
+		switch {
+		case b == '#' && len(tok) == 0:
+			if _, err := br.ReadString('\n'); err != nil && err != io.EOF {
+				return "", err
+			}
+		case b == ' ' || b == '\t' || b == '\n' || b == '\r':
+			if len(tok) > 0 {
+				return string(tok), nil
+			}
+		default:
+			tok = append(tok, b)
+		}
+	}
+}

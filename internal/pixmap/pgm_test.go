@@ -1,0 +1,100 @@
+package pixmap
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestPGMBinaryRoundTrip(t *testing.T) {
+	im := Random(33, 7) // odd width exercises row handling
+	var buf bytes.Buffer
+	if err := WritePGM(&buf, im); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPGM(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !im.Equal(got) {
+		t.Fatal("P5 round trip lost data")
+	}
+}
+
+func TestPGMPlainRoundTrip(t *testing.T) {
+	im := Random(17, 8)
+	var buf bytes.Buffer
+	if err := WritePGMPlain(&buf, im); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPGM(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !im.Equal(got) {
+		t.Fatal("P2 round trip lost data")
+	}
+}
+
+func TestPGMComments(t *testing.T) {
+	src := "P2\n# a comment\n2 2\n# another\n255\n1 2\n3 4\n"
+	im, err := ReadPGM(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.At(0, 0) != 1 || im.At(1, 1) != 4 {
+		t.Fatalf("comment parsing broke pixels: %v", im.Pix)
+	}
+}
+
+func TestPGMErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad magic":       "P7\n2 2\n255\n....",
+		"bad dims":        "P2\nx 2\n255\n1 2 3 4",
+		"negative maxval": "P2\n2 2\n-3\n1 2 3 4",
+		"big maxval":      "P2\n2 2\n65535\n1 2 3 4",
+		"truncated P2":    "P2\n2 2\n255\n1 2 3",
+		"bad pixel":       "P2\n2 2\n255\n1 2 3 boo",
+		"over maxval":     "P2\n2 2\n10\n1 2 3 200",
+		"truncated P5":    "P5\n4 4\n255\nxy",
+	}
+	for name, src := range cases {
+		if _, err := ReadPGM(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: accepted invalid input", name)
+		}
+	}
+}
+
+func TestSaveLoadPGMFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "test.pgm")
+	im := Generate(Image2Rects128, DefaultGenOptions())
+	if err := SavePGM(path, im); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadPGM(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !im.Equal(got) {
+		t.Fatal("file round trip lost data")
+	}
+	if _, err := LoadPGM(filepath.Join(dir, "missing.pgm")); err == nil {
+		t.Fatal("loading missing file succeeded")
+	}
+}
+
+func TestPGMZeroSize(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePGM(&buf, New(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPGM(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.W != 0 || got.H != 0 {
+		t.Fatalf("zero-size round trip: %dx%d", got.W, got.H)
+	}
+}

@@ -1,0 +1,75 @@
+package pixmap
+
+import "fmt"
+
+// Geometric transforms, used by the robustness test suite (a valid
+// segmenter must find the same region structure in a flipped or rotated
+// image) and by tooling.
+
+// FlipH returns the image mirrored horizontally.
+func (im *Image) FlipH() *Image {
+	out := New(im.W, im.H)
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			out.Set(im.W-1-x, y, im.At(x, y))
+		}
+	}
+	return out
+}
+
+// FlipV returns the image mirrored vertically.
+func (im *Image) FlipV() *Image {
+	out := New(im.W, im.H)
+	for y := 0; y < im.H; y++ {
+		copy(out.Pix[(im.H-1-y)*im.W:(im.H-y)*im.W], im.Pix[y*im.W:(y+1)*im.W])
+	}
+	return out
+}
+
+// Rotate90 returns the image rotated 90° clockwise (H×W from W×H).
+func (im *Image) Rotate90() *Image {
+	out := New(im.H, im.W)
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			out.Set(im.H-1-y, x, im.At(x, y))
+		}
+	}
+	return out
+}
+
+// Downsample returns the image reduced by an integer factor, each output
+// pixel the mean of its factor×factor block. The dimensions must divide
+// evenly.
+func (im *Image) Downsample(factor int) (*Image, error) {
+	if factor <= 0 || im.W%factor != 0 || im.H%factor != 0 {
+		return nil, fmt.Errorf("pixmap: cannot downsample %dx%d by %d", im.W, im.H, factor)
+	}
+	out := New(im.W/factor, im.H/factor)
+	for oy := 0; oy < out.H; oy++ {
+		for ox := 0; ox < out.W; ox++ {
+			sum := 0
+			for dy := 0; dy < factor; dy++ {
+				for dx := 0; dx < factor; dx++ {
+					sum += int(im.At(ox*factor+dx, oy*factor+dy))
+				}
+			}
+			out.Set(ox, oy, uint8(sum/(factor*factor)))
+		}
+	}
+	return out, nil
+}
+
+// Upsample returns the image enlarged by an integer factor with pixel
+// replication.
+func (im *Image) Upsample(factor int) (*Image, error) {
+	if factor <= 0 {
+		return nil, fmt.Errorf("pixmap: cannot upsample by %d", factor)
+	}
+	out := New(im.W*factor, im.H*factor)
+	for y := 0; y < out.H; y++ {
+		for x := 0; x < out.W; x++ {
+			out.Set(x, y, im.At(x/factor, y/factor))
+		}
+	}
+	return out, nil
+}

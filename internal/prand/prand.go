@@ -1,0 +1,82 @@
+// Package prand provides small deterministic pseudo-random generators for
+// the region growing engines.
+//
+// The paper breaks merge-choice ties "by selecting a neighbor at random";
+// on the Connection Machine each processor drew from its own stream. To make
+// runs reproducible across the sequential, data-parallel, and
+// message-passing engines, every random decision here is a pure function of
+// (seed, iteration, region id, ...) via a SplitMix64-style hash, so the same
+// seed yields the same tie-breaks regardless of how work is scheduled onto
+// goroutines.
+package prand
+
+// splitmix64 advances the SplitMix64 state and returns the next output.
+// Reference: Steele, Lea, Flood, "Fast Splittable Pseudorandom Number
+// Generators", OOPSLA 2014.
+func splitmix64(state uint64) uint64 {
+	z := state + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Hash2 hashes two words into one well-mixed word.
+func Hash2(a, b uint64) uint64 {
+	return splitmix64(splitmix64(a) ^ (b * 0x9e3779b97f4a7c15))
+}
+
+// Hash3 hashes three words into one well-mixed word.
+func Hash3(a, b, c uint64) uint64 {
+	return splitmix64(Hash2(a, b) ^ (c * 0xd6e8feb86659fd93))
+}
+
+// Hash4 hashes four words into one well-mixed word.
+func Hash4(a, b, c, d uint64) uint64 {
+	return splitmix64(Hash3(a, b, c) ^ (d * 0xca01f9dd45c4b2fb))
+}
+
+// Gen is a sequential SplitMix64 generator. The zero value is a valid
+// generator seeded with 0.
+type Gen struct {
+	state uint64
+}
+
+// New returns a generator with the given seed.
+func New(seed uint64) *Gen { return &Gen{state: seed} }
+
+// Uint64 returns the next 64 uniformly random bits.
+func (g *Gen) Uint64() uint64 {
+	g.state += 0x9e3779b97f4a7c15
+	z := g.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniformly random int in [0, n). It panics if n <= 0.
+func (g *Gen) Intn(n int) int {
+	if n <= 0 {
+		panic("prand: Intn with non-positive n")
+	}
+	// Multiply-shift rejection-free mapping; bias is negligible (n ≪ 2⁶⁴)
+	// and irrelevant for tie-breaking.
+	hi, _ := mul64(g.Uint64(), uint64(n))
+	return int(hi)
+}
+
+// Split derives an independent child generator. Streams derived with
+// distinct ids are statistically independent of the parent and each other.
+func (g *Gen) Split(id uint64) *Gen {
+	return &Gen{state: Hash2(g.Uint64(), id)}
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 1<<32 - 1
+	al, ah := a&mask, a>>32
+	bl, bh := b&mask, b>>32
+	t := ah*bl + (al*bl)>>32
+	lo = a * b
+	hi = ah*bh + t>>32 + (al*bh+t&mask)>>32
+	return hi, lo
+}

@@ -1,0 +1,258 @@
+package quadsplit
+
+import (
+	"testing"
+	"testing/quick"
+
+	"regiongrow/internal/homog"
+	"regiongrow/internal/pixmap"
+)
+
+// paperFigure1 is the 4×4 image of the paper's Figure 1, evaluated with
+// threshold T=3.
+func paperFigure1(t *testing.T) *pixmap.Image {
+	t.Helper()
+	im, err := pixmap.FromRows([][]uint8{
+		{6, 7, 1, 3},
+		{8, 6, 5, 4},
+		{8, 8, 6, 5},
+		{7, 8, 6, 6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return im
+}
+
+func TestPaperFigure1(t *testing.T) {
+	// Figure 1(b): after the first and final split iteration the NW, SW,
+	// and SE 2×2 blocks are squares; the NE quadrant stays four 1×1
+	// squares (its range 5−1=4 exceeds T=3).
+	im := paperFigure1(t)
+	res := Split(im, homog.NewRange(3), Options{MaxSquare: Unbounded})
+	if err := Validate(res, im, homog.NewRange(3)); err != nil {
+		t.Fatal(err)
+	}
+	if res.NumSquares != 7 {
+		t.Fatalf("squares = %d, want 7 (three 2x2 + four 1x1)", res.NumSquares)
+	}
+	sizes := map[int]int{}
+	for _, s := range res.Squares(im) {
+		sizes[s.Size]++
+	}
+	if sizes[2] != 3 || sizes[1] != 4 {
+		t.Fatalf("size histogram = %v", sizes)
+	}
+	// The 4×4 pass runs, combines nothing, and terminates the stage:
+	// two executed iterations.
+	if res.Iterations != 2 {
+		t.Fatalf("iterations = %d, want 2", res.Iterations)
+	}
+	// The NE quadrant pixels label themselves.
+	for _, p := range [][2]int{{2, 0}, {3, 0}, {2, 1}, {3, 1}} {
+		i := im.Index(p[0], p[1])
+		if res.Labels[i] != int32(i) {
+			t.Errorf("NE pixel (%d,%d) labelled %d, want itself", p[0], p[1], res.Labels[i])
+		}
+	}
+}
+
+func TestUniformImage(t *testing.T) {
+	// Whole image one square: log2(N) iterations, 1 square.
+	im := pixmap.Uniform(16, 9)
+	res := Split(im, homog.NewRange(0), Options{MaxSquare: Unbounded})
+	if res.NumSquares != 1 {
+		t.Fatalf("squares = %d", res.NumSquares)
+	}
+	if res.Iterations != 4 {
+		t.Fatalf("iterations = %d, want log2(16)=4", res.Iterations)
+	}
+	for _, l := range res.Labels {
+		if l != 0 {
+			t.Fatal("labels not all 0")
+		}
+	}
+}
+
+func TestCheckerboardWorstCase(t *testing.T) {
+	// No 2×2 block is homogeneous: one iteration, N² squares.
+	im := pixmap.Checkerboard(8, 0, 255)
+	res := Split(im, homog.NewRange(10), Options{MaxSquare: Unbounded})
+	if res.Iterations != 1 {
+		t.Fatalf("iterations = %d, want 1", res.Iterations)
+	}
+	if res.NumSquares != 64 {
+		t.Fatalf("squares = %d, want 64", res.NumSquares)
+	}
+}
+
+func TestCapSemantics(t *testing.T) {
+	im := pixmap.Uniform(64, 7)
+	// Default cap is N/8 = 8 → squares of side 8, 64 of them, and
+	// log2(8)=3 iterations (every pass combines, stage stops at the cap).
+	res := Split(im, homog.NewRange(0), Options{})
+	if res.MaxSquareUsed != 8 {
+		t.Fatalf("default cap = %d, want 8", res.MaxSquareUsed)
+	}
+	if res.NumSquares != 64 || res.Iterations != 3 {
+		t.Fatalf("squares=%d iterations=%d, want 64/3", res.NumSquares, res.Iterations)
+	}
+	// Explicit cap 16.
+	res = Split(im, homog.NewRange(0), Options{MaxSquare: 16})
+	if res.MaxSquareUsed != 16 || res.NumSquares != 16 {
+		t.Fatalf("cap 16: used=%d squares=%d", res.MaxSquareUsed, res.NumSquares)
+	}
+	// Non-power-of-two cap rounds down.
+	res = Split(im, homog.NewRange(0), Options{MaxSquare: 12})
+	if res.MaxSquareUsed != 8 {
+		t.Fatalf("cap 12 rounds to %d, want 8", res.MaxSquareUsed)
+	}
+	// Unbounded merges to the whole image.
+	res = Split(im, homog.NewRange(0), Options{MaxSquare: Unbounded})
+	if res.NumSquares != 1 {
+		t.Fatalf("unbounded squares = %d", res.NumSquares)
+	}
+}
+
+func TestEffectiveCap(t *testing.T) {
+	cases := []struct {
+		opt  int
+		w, h int
+		want int
+	}{
+		{0, 128, 128, 16},
+		{0, 256, 256, 32},
+		{0, 64, 64, 8},
+		{0, 8, 8, 1},
+		{Unbounded, 128, 128, 128},
+		{Unbounded, 100, 100, 64},
+		{4, 128, 128, 4},
+		{500, 128, 128, 128},
+		{0, 0, 0, 1},
+	}
+	for _, c := range cases {
+		if got := EffectiveCap(Options{MaxSquare: c.opt}, c.w, c.h); got != c.want {
+			t.Errorf("EffectiveCap(%d, %dx%d) = %d, want %d", c.opt, c.w, c.h, got, c.want)
+		}
+	}
+}
+
+func TestNonSquareImage(t *testing.T) {
+	im := pixmap.New(24, 16) // not powers of two
+	im.FillRect(0, 0, 24, 16, 5)
+	res := Split(im, homog.NewRange(0), Options{MaxSquare: Unbounded})
+	if err := Validate(res, im, homog.NewRange(0)); err != nil {
+		t.Fatal(err)
+	}
+	// Largest square is 16 (fits height); 24 = 16 + 8.
+	maxSize := int32(0)
+	for _, s := range res.Size {
+		if s > maxSize {
+			maxSize = s
+		}
+	}
+	if maxSize != 16 {
+		t.Fatalf("largest square = %d, want 16", maxSize)
+	}
+}
+
+func TestEmptyAndTinyImages(t *testing.T) {
+	res := Split(pixmap.New(0, 0), homog.NewRange(5), Options{})
+	if res.NumSquares != 0 {
+		t.Fatal("empty image produced squares")
+	}
+	im := pixmap.Uniform(1, 3)
+	res = Split(im, homog.NewRange(5), Options{MaxSquare: Unbounded})
+	if res.NumSquares != 1 || res.Iterations != 1 {
+		t.Fatalf("1x1 image: squares=%d iterations=%d", res.NumSquares, res.Iterations)
+	}
+}
+
+func TestSplitInvariantsOnRandomImages(t *testing.T) {
+	// Property test: alignment, homogeneity, maximality, full coverage on
+	// adversarial inputs, checked by Validate.
+	err := quick.Check(func(seed uint64, tRaw uint8, capRaw uint8) bool {
+		im := pixmap.Random(32, seed)
+		// Smooth the image so some structure emerges.
+		for i := range im.Pix {
+			im.Pix[i] &= 0x3F
+		}
+		tVal := int(tRaw % 70)
+		capOpt := []int{0, Unbounded, 4, 16}[capRaw%4]
+		res := Split(im, homog.NewRange(tVal), Options{MaxSquare: capOpt})
+		return Validate(res, im, homog.NewRange(tVal)) == nil
+	}, &quick.Config{MaxCount: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	im := pixmap.Generate(pixmap.Image3Circles128, pixmap.DefaultGenOptions())
+	a := Split(im, homog.NewRange(10), Options{})
+	b := Split(im, homog.NewRange(10), Options{})
+	for i := range a.Labels {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatal("split is not deterministic")
+		}
+	}
+}
+
+func TestPaperIterationCounts(t *testing.T) {
+	// The tables report 4 split iterations for every 128² image and 5 for
+	// every 256² image under the default cap.
+	for _, id := range pixmap.AllPaperImages() {
+		im := pixmap.Generate(id, pixmap.DefaultGenOptions())
+		res := Split(im, homog.NewRange(10), Options{})
+		want := 4
+		if id.Size() == 256 {
+			want = 5
+		}
+		if res.Iterations != want {
+			t.Errorf("%v: split iterations = %d, want %d", id, res.Iterations, want)
+		}
+	}
+}
+
+func TestCombinedPerIterMonotoneTermination(t *testing.T) {
+	// The recorded combine counts must be positive except possibly the
+	// final entry (the terminating pass).
+	im := pixmap.Generate(pixmap.Image2Rects128, pixmap.DefaultGenOptions())
+	res := Split(im, homog.NewRange(10), Options{MaxSquare: Unbounded})
+	for i, c := range res.CombinedPerIter {
+		last := i == len(res.CombinedPerIter)-1
+		if c == 0 && !last {
+			t.Fatalf("pass %d combined nothing but the stage continued", i+1)
+		}
+	}
+}
+
+func TestSquaresEnumerationMatchesLabels(t *testing.T) {
+	im := pixmap.Generate(pixmap.Image2Rects128, pixmap.DefaultGenOptions())
+	res := Split(im, homog.NewRange(10), Options{})
+	squares := res.Squares(im)
+	if len(squares) != res.NumSquares {
+		t.Fatalf("Squares() returned %d, NumSquares = %d", len(squares), res.NumSquares)
+	}
+	area := 0
+	for _, s := range squares {
+		area += s.Size * s.Size
+		if res.Labels[s.ID(im.W)] != s.ID(im.W) {
+			t.Fatal("square origin is not a root label")
+		}
+	}
+	if area != im.W*im.H {
+		t.Fatalf("squares cover %d px of %d", area, im.W*im.H)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	im := pixmap.Generate(pixmap.Image2Rects128, pixmap.DefaultGenOptions())
+	crit := homog.NewRange(10)
+	res := Split(im, crit, Options{})
+	// Corrupt one pixel's label: points at a non-root.
+	res.Labels[5000] = res.Labels[5000] + 1
+	if Validate(res, im, crit) == nil {
+		t.Fatal("Validate accepted corrupted labels")
+	}
+}

@@ -1,0 +1,108 @@
+package quadsplit
+
+import (
+	"regiongrow/internal/homog"
+	"regiongrow/internal/pixmap"
+)
+
+// SplitTopDown is the original Horowitz–Pavlidis formulation of the split
+// stage: start from the largest aligned block and recursively quarter any
+// block that is incomplete or inhomogeneous. It produces exactly the same
+// set of maximal homogeneous squares as the paper's bottom-up combining
+// pass (a block is a leaf in the recursion iff it is homogeneous and its
+// parent quad is not — the same maximality condition), which the test
+// suite verifies; the engines use the bottom-up form because it maps to
+// data-parallel strided operations.
+//
+// Iterations reports the recursion depth explored below the cap plus the
+// terminal level, mirroring the bottom-up pass count so the two variants
+// are comparable.
+func SplitTopDown(im *pixmap.Image, crit homog.Criterion, opt Options) *Result {
+	w, h := im.W, im.H
+	res := &Result{
+		W: w, H: h,
+		Labels:        make([]int32, w*h),
+		Size:          make([]int32, w*h),
+		MaxSquareUsed: EffectiveCap(opt, w, h),
+	}
+	if w == 0 || h == 0 {
+		return res
+	}
+	s := &topDown{im: im, crit: crit, res: res}
+	// Tile the image with cap-sized blocks and recurse into each.
+	cap := res.MaxSquareUsed
+	for y := 0; y < h; y += cap {
+		for x := 0; x < w; x += cap {
+			s.recurse(x, y, cap)
+		}
+	}
+	// The bottom-up pass count equals log2(cap / smallest-split-to size)
+	// + 1 when anything combined; reuse its semantics by re-deriving from
+	// the produced sizes: iterations = log2(largest square) + 1 capped at
+	// log2(cap), minimum 1. A pass that combined nothing still counts.
+	largest := 1
+	for _, sz := range res.Size {
+		if int(sz) > largest {
+			largest = int(sz)
+		}
+	}
+	iters := 0
+	for 1<<iters < largest {
+		iters++
+	}
+	if largest < cap {
+		iters++ // the pass that failed to combine further
+	}
+	if iters == 0 {
+		iters = 1
+	}
+	res.Iterations = iters
+	return res
+}
+
+type topDown struct {
+	im   *pixmap.Image
+	crit homog.Criterion
+	res  *Result
+}
+
+// recurse claims block (x, y, size) if it is fully inside the image and
+// homogeneous; otherwise it quarters. Size-1 blocks are always claimed.
+func (s *topDown) recurse(x, y, size int) {
+	if x >= s.im.W || y >= s.im.H {
+		return
+	}
+	if size == 1 {
+		s.claim(x, y, 1)
+		return
+	}
+	if x+size <= s.im.W && y+size <= s.im.H {
+		iv := homog.Empty()
+		for yy := y; yy < y+size; yy++ {
+			for xx := x; xx < x+size; xx++ {
+				iv = iv.Union(homog.Point(s.im.At(xx, yy)))
+			}
+		}
+		if s.crit.Homogeneous(iv) {
+			s.claim(x, y, size)
+			return
+		}
+	}
+	half := size / 2
+	s.recurse(x, y, half)
+	s.recurse(x+half, y, half)
+	s.recurse(x, y+half, half)
+	s.recurse(x+half, y+half, half)
+}
+
+func (s *topDown) claim(x, y, size int) {
+	id := int32(y*s.im.W + x)
+	s.res.NumSquares++
+	for yy := y; yy < y+size; yy++ {
+		row := yy * s.im.W
+		for xx := x; xx < x+size; xx++ {
+			s.res.Labels[row+xx] = id
+			s.res.Size[row+xx] = int32(size)
+		}
+	}
+}

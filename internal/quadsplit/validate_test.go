@@ -1,0 +1,111 @@
+package quadsplit
+
+import (
+	"strings"
+	"testing"
+
+	"regiongrow/internal/homog"
+	"regiongrow/internal/pixmap"
+)
+
+// Negative-path tests for Validate: each structural invariant must be
+// individually enforced.
+
+func validBase(t *testing.T) (*Result, *pixmap.Image, homog.Criterion) {
+	t.Helper()
+	im := pixmap.Uniform(8, 5)
+	crit := homog.NewRange(0)
+	res := Split(im, crit, Options{MaxSquare: 4})
+	if err := Validate(res, im, crit); err != nil {
+		t.Fatalf("base result invalid: %v", err)
+	}
+	return res, im, crit
+}
+
+func cloneResult(r *Result) *Result {
+	out := *r
+	out.Labels = append([]int32{}, r.Labels...)
+	out.Size = append([]int32{}, r.Size...)
+	return &out
+}
+
+func TestValidateShapeMismatch(t *testing.T) {
+	res, _, crit := validBase(t)
+	other := pixmap.Uniform(4, 5)
+	if err := Validate(res, other, crit); err == nil || !strings.Contains(err.Error(), "match") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestValidateOutOfRangeLabel(t *testing.T) {
+	res, im, crit := validBase(t)
+	bad := cloneResult(res)
+	bad.Labels[3] = 9999
+	if err := Validate(bad, im, crit); err == nil {
+		t.Fatal("out-of-range label accepted")
+	}
+	bad.Labels[3] = -1
+	if err := Validate(bad, im, crit); err == nil {
+		t.Fatal("negative label accepted")
+	}
+}
+
+func TestValidateNonRootLabel(t *testing.T) {
+	res, im, crit := validBase(t)
+	bad := cloneResult(res)
+	// Point a pixel at a non-root pixel (one whose own label differs).
+	bad.Labels[0] = 1 // pixel 1 is interior to the square rooted at 0
+	if err := Validate(bad, im, crit); err == nil {
+		t.Fatal("non-root label accepted")
+	}
+}
+
+func TestValidateMisalignedSquare(t *testing.T) {
+	res, im, crit := validBase(t)
+	bad := cloneResult(res)
+	// Fabricate a "square" at a misaligned origin: relabel the 4×4 block
+	// at (4,0) to root at pixel (5,0) — the root pixel's label must point
+	// at itself for the well-formedness check, so rewrite the block.
+	root := int32(im.Index(5, 0))
+	for y := 0; y < 4; y++ {
+		for x := 5; x < 8; x++ {
+			bad.Labels[im.Index(x, y)] = root
+		}
+	}
+	bad.Size[root] = 2
+	if err := Validate(bad, im, crit); err == nil {
+		t.Fatal("misaligned/incoherent square accepted")
+	}
+}
+
+func TestValidateInhomogeneousSquare(t *testing.T) {
+	im := pixmap.Uniform(4, 5)
+	crit := homog.NewRange(0)
+	res := Split(im, crit, Options{MaxSquare: 2})
+	im.Set(0, 0, 200) // corrupt the image after splitting
+	if err := Validate(res, im, crit); err == nil {
+		t.Fatal("inhomogeneous square accepted")
+	}
+}
+
+func TestValidateMissedCombine(t *testing.T) {
+	// An all-1×1 labelling of a uniform image violates maximality.
+	im := pixmap.Uniform(4, 5)
+	crit := homog.NewRange(0)
+	res := &Result{
+		W: 4, H: 4,
+		Labels:        make([]int32, 16),
+		Size:          make([]int32, 16),
+		Iterations:    1,
+		NumSquares:    16,
+		MaxSquareUsed: 4,
+	}
+	for i := range res.Labels {
+		res.Labels[i] = int32(i)
+		res.Size[i] = 1
+	}
+	err := Validate(res, im, crit)
+	if err == nil || !strings.Contains(err.Error(), "should have been combined") {
+		t.Fatalf("maximality violation not caught: %v", err)
+	}
+}

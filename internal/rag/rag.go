@@ -1,0 +1,366 @@
+// Package rag implements the region adjacency graph (RAG) and the mutual
+// best-neighbour merge kernel at the heart of the merge stage.
+//
+// The region growing problem is reformulated as a weighted undirected graph
+// problem: vertices are regions, an edge joins two regions sharing a
+// boundary, and the weight of edge (v,w) is the pixel range of the union of
+// the two regions' intensity intervals. Only edges whose weight satisfies
+// the homogeneity criterion are active. Each iteration every region picks
+// its best active neighbour (minimum weight, ties broken by policy); two
+// regions merge exactly when they pick each other; the smaller ID becomes
+// the representative.
+//
+// The kernel here defines the *semantics* all three engines (sequential,
+// data parallel, message passing) must agree on. Choices are pure functions
+// of (graph state, policy, seed, iteration), so engines that evaluate them
+// with different parallel schedules still produce identical segmentations.
+package rag
+
+import (
+	"fmt"
+	"sort"
+
+	"regiongrow/internal/homog"
+	"regiongrow/internal/pixmap"
+	"regiongrow/internal/prand"
+)
+
+// TiePolicy selects how a region breaks ties among equally attractive
+// neighbours.
+type TiePolicy int
+
+const (
+	// SmallestID picks the tied neighbour with the smallest region ID —
+	// the deterministic policy the paper shows serialises merging.
+	SmallestID TiePolicy = iota
+	// LargestID picks the tied neighbour with the largest region ID.
+	LargestID
+	// Random picks a tied neighbour pseudo-randomly — the paper's
+	// improvement, yielding more merges per iteration. The draw is a pure
+	// function of (seed, iteration, chooser ID) so runs are reproducible.
+	Random
+)
+
+// String returns the policy name used in experiment records.
+func (p TiePolicy) String() string {
+	switch p {
+	case SmallestID:
+		return "smallest-id"
+	case LargestID:
+		return "largest-id"
+	case Random:
+		return "random"
+	default:
+		return fmt.Sprintf("TiePolicy(%d)", int(p))
+	}
+}
+
+// NoChoice marks a vertex with no mergeable neighbour.
+const NoChoice int32 = -1
+
+// Vertex is one region in the graph.
+type Vertex struct {
+	ID  int32
+	IV  homog.Interval
+	Adj map[int32]struct{}
+}
+
+// Graph is a mutable region adjacency graph. Vertices are keyed by region
+// ID (the linear pixel index of the region's origin). Edge weights are not
+// stored: they are always derivable from the endpoint intervals, which is
+// exactly how the engines keep them consistent under contraction.
+type Graph struct {
+	Crit  homog.Criterion
+	Verts map[int32]*Vertex
+}
+
+// NewGraph returns an empty graph over the criterion.
+func NewGraph(crit homog.Criterion) *Graph {
+	return &Graph{Crit: crit, Verts: make(map[int32]*Vertex)}
+}
+
+// AddVertex inserts a region with the given interval. Re-adding an ID
+// unions the intervals (useful when assembling from partial scans).
+func (g *Graph) AddVertex(id int32, iv homog.Interval) *Vertex {
+	v, ok := g.Verts[id]
+	if !ok {
+		v = &Vertex{ID: id, IV: iv, Adj: make(map[int32]struct{})}
+		g.Verts[id] = v
+		return v
+	}
+	v.IV = v.IV.Union(iv)
+	return v
+}
+
+// AddEdge records adjacency between regions a and b. Self-edges are
+// ignored. Both endpoints must exist.
+func (g *Graph) AddEdge(a, b int32) {
+	if a == b {
+		return
+	}
+	va, ok := g.Verts[a]
+	if !ok {
+		panic(fmt.Sprintf("rag: AddEdge endpoint %d missing", a))
+	}
+	vb, ok := g.Verts[b]
+	if !ok {
+		panic(fmt.Sprintf("rag: AddEdge endpoint %d missing", b))
+	}
+	va.Adj[b] = struct{}{}
+	vb.Adj[a] = struct{}{}
+}
+
+// NumVertices returns the current vertex count.
+func (g *Graph) NumVertices() int { return len(g.Verts) }
+
+// NumEdges returns the current undirected edge count.
+func (g *Graph) NumEdges() int {
+	total := 0
+	for _, v := range g.Verts {
+		total += len(v.Adj)
+	}
+	return total / 2
+}
+
+// ActiveEdges counts edges satisfying the criterion.
+func (g *Graph) ActiveEdges() int {
+	total := 0
+	for _, v := range g.Verts {
+		for w := range v.Adj {
+			if g.Crit.Homogeneous(v.IV.Union(g.Verts[w].IV)) {
+				total++
+			}
+		}
+	}
+	return total / 2
+}
+
+// Weight returns the edge weight between vertices a and b: the pixel range
+// of the union of their intervals.
+func (g *Graph) Weight(a, b *Vertex) int { return homog.Weight(a.IV, b.IV) }
+
+// BuildFromLabels constructs the RAG of a labelled image: one vertex per
+// label with the interval of its pixels, one edge per 4-adjacent label
+// pair. This is how the merge stage receives the split stage's output.
+func BuildFromLabels(im *pixmap.Image, labels []int32, crit homog.Criterion) *Graph {
+	if len(labels) != im.W*im.H {
+		panic(fmt.Sprintf("rag: %d labels for %dx%d image", len(labels), im.W, im.H))
+	}
+	g := NewGraph(crit)
+	for i, lab := range labels {
+		g.AddVertex(lab, homog.Point(im.Pix[i]))
+	}
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			i := y*im.W + x
+			if x+1 < im.W && labels[i] != labels[i+1] {
+				g.AddEdge(labels[i], labels[i+1])
+			}
+			if y+1 < im.H && labels[i] != labels[i+im.W] {
+				g.AddEdge(labels[i], labels[i+im.W])
+			}
+		}
+	}
+	return g
+}
+
+// Choose computes the merge choice of vertex v at the given iteration:
+// the active neighbour with minimal edge weight, ties broken by policy.
+// It returns NoChoice when v has no active neighbour.
+//
+// This function is the cross-engine contract: all engines enumerate tied
+// candidates in ascending ID order and the Random policy selects index
+// Hash3(seed, iter, id) mod count among them, so identical (seed, iter,
+// graph) yields identical choices everywhere.
+func (g *Graph) Choose(v *Vertex, policy TiePolicy, seed uint64, iter int) int32 {
+	bestW := -1
+	var tied []int32
+	for wid := range v.Adj {
+		w := g.Verts[wid]
+		wt := g.Weight(v, w)
+		if !g.Crit.Homogeneous(v.IV.Union(w.IV)) {
+			continue
+		}
+		switch {
+		case bestW < 0 || wt < bestW:
+			bestW = wt
+			tied = tied[:0]
+			tied = append(tied, wid)
+		case wt == bestW:
+			tied = append(tied, wid)
+		}
+	}
+	if bestW < 0 {
+		return NoChoice
+	}
+	return PickTied(tied, policy, seed, iter, v.ID)
+}
+
+// PickTied resolves a tie among candidate neighbour IDs for chooser id.
+// The slice may be reordered in place. Exported so the data-parallel and
+// message-passing engines can share the exact tie semantics.
+func PickTied(tied []int32, policy TiePolicy, seed uint64, iter int, id int32) int32 {
+	if len(tied) == 0 {
+		return NoChoice
+	}
+	if len(tied) == 1 {
+		return tied[0]
+	}
+	sort.Slice(tied, func(i, j int) bool { return tied[i] < tied[j] })
+	switch policy {
+	case SmallestID:
+		return tied[0]
+	case LargestID:
+		return tied[len(tied)-1]
+	case Random:
+		k := prand.Hash3(seed, uint64(iter), uint64(uint32(id))) % uint64(len(tied))
+		return tied[k]
+	default:
+		panic(fmt.Sprintf("rag: unknown tie policy %d", int(policy)))
+	}
+}
+
+// MergeStats reports what the merge stage did.
+type MergeStats struct {
+	// Iterations is the number of choice/merge rounds executed while at
+	// least one active edge existed (the paper's merge iteration count).
+	Iterations int
+	// MergesPerIter records region pairs merged in each iteration.
+	MergesPerIter []int
+	// ForcedResolutions counts iterations where the Random policy stalled
+	// (no mutual pair despite active edges) three times in a row and one
+	// round of SmallestID was forced to guarantee progress.
+	ForcedResolutions int
+}
+
+// TotalMerges sums merges over all iterations.
+func (s MergeStats) TotalMerges() int {
+	total := 0
+	for _, m := range s.MergesPerIter {
+		total += m
+	}
+	return total
+}
+
+// MergeAll runs merge iterations until no active edges remain, mutating the
+// graph. It returns per-iteration statistics and a map from every original
+// vertex ID ever merged into another to its surviving representative's ID
+// is available through Find on the returned Assignments.
+func (g *Graph) MergeAll(policy TiePolicy, seed uint64) (MergeStats, *Assignments) {
+	var stats MergeStats
+	asg := NewAssignments()
+	stalls := 0
+	for {
+		if g.ActiveEdges() == 0 {
+			break
+		}
+		stats.Iterations++
+		effective := policy
+		if policy == Random && stalls >= 3 {
+			effective = SmallestID
+			stats.ForcedResolutions++
+			stalls = 0
+		}
+		merged := g.MergeIteration(effective, seed, stats.Iterations, asg)
+		stats.MergesPerIter = append(stats.MergesPerIter, merged)
+		if merged == 0 {
+			stalls++
+		} else {
+			stalls = 0
+		}
+	}
+	return stats, asg
+}
+
+// MergeIteration executes one round: compute all choices, merge mutual
+// pairs, contract. It returns the number of pairs merged and records the
+// unions in asg.
+func (g *Graph) MergeIteration(policy TiePolicy, seed uint64, iter int, asg *Assignments) int {
+	choice := make(map[int32]int32, len(g.Verts))
+	for id, v := range g.Verts {
+		if c := g.Choose(v, policy, seed, iter); c != NoChoice {
+			choice[id] = c
+		}
+	}
+	// Mutual pairs; process each once via the smaller endpoint.
+	var pairs [][2]int32
+	for v, w := range choice {
+		if v < w && choice[w] == v {
+			pairs = append(pairs, [2]int32{v, w})
+		}
+	}
+	// Deterministic order: contraction below is order-independent for
+	// disjoint pairs, but a stable order keeps diagnostics reproducible.
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i][0] < pairs[j][0] })
+	for _, p := range pairs {
+		g.Contract(p[0], p[1])
+		asg.Record(p[1], p[0])
+	}
+	return len(pairs)
+}
+
+// Contract merges vertex loser=b into keeper=a (a < b by convention: the
+// region with the smaller ID becomes the representative). The keeper's
+// interval becomes the union; b's neighbours are re-pointed at a; the
+// self-edge is dropped; parallel edges coalesce via the adjacency sets.
+func (g *Graph) Contract(a, b int32) {
+	va, vb := g.Verts[a], g.Verts[b]
+	if va == nil || vb == nil {
+		panic(fmt.Sprintf("rag: Contract(%d,%d) on missing vertex", a, b))
+	}
+	va.IV = va.IV.Union(vb.IV)
+	delete(va.Adj, b)
+	for n := range vb.Adj {
+		if n == a {
+			continue
+		}
+		vn := g.Verts[n]
+		delete(vn.Adj, b)
+		vn.Adj[a] = struct{}{}
+		va.Adj[n] = struct{}{}
+	}
+	delete(g.Verts, b)
+}
+
+// Assignments tracks, over the whole merge stage, which representative each
+// original region ended up in. It is a union-find keyed by region ID.
+type Assignments struct {
+	parent map[int32]int32
+}
+
+// NewAssignments returns an empty assignment table.
+func NewAssignments() *Assignments { return &Assignments{parent: make(map[int32]int32)} }
+
+// Record notes that region `from` merged into representative `into`.
+func (a *Assignments) Record(from, into int32) { a.parent[from] = into }
+
+// Find returns the final representative of region id.
+func (a *Assignments) Find(id int32) int32 {
+	for {
+		p, ok := a.parent[id]
+		if !ok {
+			return id
+		}
+		// Path compression: safe because Record only ever adds roots.
+		if gp, ok := a.parent[p]; ok {
+			a.parent[id] = gp
+		}
+		id = p
+	}
+}
+
+// Relabel maps split-stage labels through the assignments, producing the
+// final per-pixel segmentation labels.
+func (a *Assignments) Relabel(labels []int32) []int32 {
+	out := make([]int32, len(labels))
+	cache := make(map[int32]int32)
+	for i, lab := range labels {
+		r, ok := cache[lab]
+		if !ok {
+			r = a.Find(lab)
+			cache[lab] = r
+		}
+		out[i] = r
+	}
+	return out
+}

@@ -1,0 +1,68 @@
+package rag
+
+import "sort"
+
+// MergeSerial is the sequential baseline the paper's complexity section
+// bounds against: it merges exactly one region pair per iteration — the
+// globally best active edge — so a region built from R squares needs R−1
+// iterations, versus log R in the best parallel case. The benchmark
+// harness uses it to quantify how much parallel mutual merging buys.
+//
+// The "best" edge is the active edge minimising (weight, smaller ID,
+// larger ID), making the baseline deterministic. It returns the same
+// style of statistics and assignments as MergeAll so results remain
+// comparable; the final segmentation is always valid but may differ from
+// the mutual-merge segmentation when merge order affects attainable
+// unions.
+func (g *Graph) MergeSerial() (MergeStats, *Assignments) {
+	var stats MergeStats
+	asg := NewAssignments()
+	for {
+		a, b, found := g.bestActiveEdge()
+		if !found {
+			break
+		}
+		stats.Iterations++
+		g.Contract(a, b)
+		asg.Record(b, a)
+		stats.MergesPerIter = append(stats.MergesPerIter, 1)
+	}
+	return stats, asg
+}
+
+// bestActiveEdge scans for the active edge minimising (weight, min ID,
+// max ID). Vertices are visited in sorted order so the scan is
+// deterministic regardless of map iteration.
+func (g *Graph) bestActiveEdge() (a, b int32, found bool) {
+	ids := make([]int32, 0, len(g.Verts))
+	for id := range g.Verts {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	bestW := -1
+	for _, v := range ids {
+		vv := g.Verts[v]
+		for w := range vv.Adj {
+			if w < v {
+				continue // visit each undirected edge once, from its smaller end
+			}
+			union := vv.IV.Union(g.Verts[w].IV)
+			if !g.Crit.Homogeneous(union) {
+				continue
+			}
+			wt := union.Range()
+			if !found || wt < bestW || (wt == bestW && less(v, w, a, b)) {
+				bestW, a, b, found = wt, v, w, true
+			}
+		}
+	}
+	return a, b, found
+}
+
+// less orders edge (v,w) before edge (a,b) lexicographically.
+func less(v, w, a, b int32) bool {
+	if v != a {
+		return v < a
+	}
+	return w < b
+}

@@ -1,0 +1,201 @@
+// Package regstats computes per-region statistics of a completed
+// segmentation — areas, bounding boxes, centroids, mean intensities,
+// perimeters, and the final region adjacency relation — and exports them
+// as JSON or as a Graphviz DOT rendering of the final region adjacency
+// graph.
+package regstats
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"regiongrow/internal/homog"
+	"regiongrow/internal/pixmap"
+)
+
+// Region summarises one final region.
+type Region struct {
+	// ID is the region label (linear index of its first pixel).
+	ID int32 `json:"id"`
+	// Area is the pixel count.
+	Area int `json:"area"`
+	// BBox is the bounding box [x0, y0, x1, y1), half-open.
+	BBox [4]int `json:"bbox"`
+	// CentroidX, CentroidY locate the mean pixel position.
+	CentroidX float64 `json:"centroidX"`
+	CentroidY float64 `json:"centroidY"`
+	// Mean is the mean intensity.
+	Mean float64 `json:"mean"`
+	// Lo and Hi bound the region's intensities (the merge interval).
+	Lo uint8 `json:"lo"`
+	Hi uint8 `json:"hi"`
+	// Perimeter counts pixel edges adjacent to another region or the
+	// image border.
+	Perimeter int `json:"perimeter"`
+	// Neighbors lists adjacent region IDs in ascending order.
+	Neighbors []int32 `json:"neighbors"`
+}
+
+// IV returns the region's intensity interval.
+func (r *Region) IV() homog.Interval { return homog.Interval{Lo: r.Lo, Hi: r.Hi} }
+
+// Compute derives the statistics of every region of a labelled image,
+// returned in ascending ID order. It panics if labels does not match the
+// image geometry.
+func Compute(im *pixmap.Image, labels []int32) []Region {
+	if len(labels) != im.W*im.H {
+		panic(fmt.Sprintf("regstats: %d labels for %dx%d image", len(labels), im.W, im.H))
+	}
+	acc := make(map[int32]*Region)
+	sumX := make(map[int32]int64)
+	sumY := make(map[int32]int64)
+	sumV := make(map[int32]int64)
+	nbr := make(map[int32]map[int32]struct{})
+
+	get := func(lab int32, x, y int) *Region {
+		r, ok := acc[lab]
+		if !ok {
+			r = &Region{ID: lab, BBox: [4]int{x, y, x + 1, y + 1}, Lo: 255, Hi: 0}
+			acc[lab] = r
+			nbr[lab] = make(map[int32]struct{})
+		}
+		return r
+	}
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			i := y*im.W + x
+			lab := labels[i]
+			r := get(lab, x, y)
+			r.Area++
+			v := im.Pix[i]
+			if v < r.Lo {
+				r.Lo = v
+			}
+			if v > r.Hi {
+				r.Hi = v
+			}
+			if x < r.BBox[0] {
+				r.BBox[0] = x
+			}
+			if y < r.BBox[1] {
+				r.BBox[1] = y
+			}
+			if x+1 > r.BBox[2] {
+				r.BBox[2] = x + 1
+			}
+			if y+1 > r.BBox[3] {
+				r.BBox[3] = y + 1
+			}
+			sumX[lab] += int64(x)
+			sumY[lab] += int64(y)
+			sumV[lab] += int64(v)
+			// Perimeter and adjacency over the 4-neighbourhood.
+			for _, d := range [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+				nx, ny := x+d[0], y+d[1]
+				if !im.In(nx, ny) {
+					r.Perimeter++
+					continue
+				}
+				nl := labels[ny*im.W+nx]
+				if nl != lab {
+					r.Perimeter++
+					nbr[lab][nl] = struct{}{}
+				}
+			}
+		}
+	}
+	out := make([]Region, 0, len(acc))
+	for lab, r := range acc {
+		r.CentroidX = float64(sumX[lab]) / float64(r.Area)
+		r.CentroidY = float64(sumY[lab]) / float64(r.Area)
+		r.Mean = float64(sumV[lab]) / float64(r.Area)
+		ns := make([]int32, 0, len(nbr[lab]))
+		for n := range nbr[lab] {
+			ns = append(ns, n)
+		}
+		sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+		r.Neighbors = ns
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// WriteJSON emits the region list as indented JSON.
+func WriteJSON(w io.Writer, regions []Region) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(regions); err != nil {
+		return fmt.Errorf("regstats: encoding JSON: %w", err)
+	}
+	return nil
+}
+
+// WriteDOT emits the final region adjacency graph in Graphviz DOT form:
+// one node per region (labelled with its area and intensity interval),
+// one edge per adjacent pair.
+func WriteDOT(w io.Writer, regions []Region) error {
+	var err error
+	pr := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	pr("graph rag {\n")
+	pr("  // final region adjacency graph\n")
+	for _, r := range regions {
+		pr("  r%d [label=\"%d\\narea %d\\n[%d,%d]\"];\n", r.ID, r.ID, r.Area, r.Lo, r.Hi)
+	}
+	for _, r := range regions {
+		for _, n := range r.Neighbors {
+			if n > r.ID { // each undirected edge once
+				pr("  r%d -- r%d;\n", r.ID, n)
+			}
+		}
+	}
+	pr("}\n")
+	if err != nil {
+		return fmt.Errorf("regstats: writing DOT: %w", err)
+	}
+	return nil
+}
+
+// Summary aggregates whole-segmentation statistics for reports.
+type Summary struct {
+	Regions      int     `json:"regions"`
+	LargestArea  int     `json:"largestArea"`
+	SmallestArea int     `json:"smallestArea"`
+	MeanArea     float64 `json:"meanArea"`
+	TotalEdges   int     `json:"adjacencies"`
+	MaxRange     int     `json:"maxIntensityRange"`
+	TotalPerim   int     `json:"totalPerimeter"`
+}
+
+// Summarize reduces a region list to aggregate statistics.
+func Summarize(regions []Region) Summary {
+	s := Summary{Regions: len(regions)}
+	if len(regions) == 0 {
+		return s
+	}
+	s.SmallestArea = regions[0].Area
+	total := 0
+	for _, r := range regions {
+		total += r.Area
+		if r.Area > s.LargestArea {
+			s.LargestArea = r.Area
+		}
+		if r.Area < s.SmallestArea {
+			s.SmallestArea = r.Area
+		}
+		s.TotalEdges += len(r.Neighbors)
+		if rg := r.IV().Range(); rg > s.MaxRange {
+			s.MaxRange = rg
+		}
+		s.TotalPerim += r.Perimeter
+	}
+	s.TotalEdges /= 2
+	s.MeanArea = float64(total) / float64(len(regions))
+	return s
+}

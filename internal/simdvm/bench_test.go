@@ -1,0 +1,84 @@
+package simdvm
+
+import (
+	"testing"
+
+	"regiongrow/internal/machine"
+	"regiongrow/internal/pixmap"
+)
+
+// Micro-benchmarks for the VM primitives: ns/op measures the host-side
+// goroutine-tiled execution the engines actually pay.
+
+func benchGrid(b *testing.B, n int) *Grid {
+	b.Helper()
+	m := New(machine.Get(machine.CM2_8K))
+	return m.GridFromImage(pixmap.Random(n, 1))
+}
+
+func BenchmarkGridElementwise(b *testing.B) {
+	g := benchGrid(b, 256)
+	h := g.AddC(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Min(h)
+	}
+}
+
+func BenchmarkGridEOShift(b *testing.B) {
+	g := benchGrid(b, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.EOShiftX(-8, 0)
+	}
+}
+
+func BenchmarkGridGatherXY(b *testing.B) {
+	g := benchGrid(b, 256)
+	m := g.m
+	xs := m.ColIndex(256, 256)
+	ys := m.RowIndex(256, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.GatherXY(xs, ys)
+	}
+}
+
+func BenchmarkVecSortPairs(b *testing.B) {
+	m := New(machine.Get(machine.CM2_8K))
+	v := m.GridFromImage(pixmap.Random(128, 2)).Flatten()
+	w := m.GridFromImage(pixmap.Random(128, 3)).Flatten()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.SortPairs(v, w)
+	}
+}
+
+func BenchmarkVecSegMinBroadcast(b *testing.B) {
+	m := New(machine.Get(machine.CM2_8K))
+	keys := m.GridFromImage(pixmap.Random(128, 4)).Flatten().ModC(97)
+	perm := m.SortPairs(keys, m.IotaVec(keys.Len()))
+	keys = keys.Gather(perm)
+	starts := keys.SegStarts()
+	vals := m.GridFromImage(pixmap.Random(128, 5)).Flatten()
+	mask := m.NewBoolVec(vals.Len())
+	mask.Fill(true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vals.SegMinBroadcast(starts, mask, 1<<30)
+	}
+}
+
+func BenchmarkVecPointerJump(b *testing.B) {
+	m := New(machine.Get(machine.CM2_8K))
+	n := 1 << 14
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		rep := m.NewVec(n)
+		for j := 0; j < n; j++ {
+			rep.Data()[j] = int32(j / 2) // binary-tree chains
+		}
+		b.StartTimer()
+		rep.PointerJump()
+	}
+}

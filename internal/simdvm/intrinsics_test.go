@@ -1,0 +1,207 @@
+package simdvm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"regiongrow/internal/pixmap"
+)
+
+func TestCShiftX(t *testing.T) {
+	m := testMachine()
+	g := gridFrom(m, 3, 2, []int32{1, 2, 3, 4, 5, 6})
+	r := g.CShiftX(1)
+	want := []int32{3, 1, 2, 6, 4, 5}
+	for i := range want {
+		if r.Data()[i] != want[i] {
+			t.Fatalf("CShiftX(1) = %v", r.Data())
+		}
+	}
+	// Negative and wrapped distances.
+	l := g.CShiftX(-1)
+	want = []int32{2, 3, 1, 5, 6, 4}
+	for i := range want {
+		if l.Data()[i] != want[i] {
+			t.Fatalf("CShiftX(-1) = %v", l.Data())
+		}
+	}
+	full := g.CShiftX(3)
+	for i := range g.Data() {
+		if full.Data()[i] != g.Data()[i] {
+			t.Fatal("CShiftX by width should be identity")
+		}
+	}
+}
+
+func TestCShiftY(t *testing.T) {
+	m := testMachine()
+	g := gridFrom(m, 2, 3, []int32{1, 2, 3, 4, 5, 6})
+	d := g.CShiftY(1)
+	want := []int32{5, 6, 1, 2, 3, 4}
+	for i := range want {
+		if d.Data()[i] != want[i] {
+			t.Fatalf("CShiftY(1) = %v", d.Data())
+		}
+	}
+	if u := g.CShiftY(-3); u.Data()[0] != 1 {
+		t.Fatal("CShiftY by height should be identity")
+	}
+}
+
+func TestCShiftComposesToIdentity(t *testing.T) {
+	err := quick.Check(func(seed uint64, dRaw uint8) bool {
+		m := testMachine()
+		d := int(dRaw % 40)
+		g := m.GridFromImage(pixmap.Random(16, seed))
+		back := g.CShiftX(d).CShiftX(-d).CShiftY(d).CShiftY(-d)
+		for i := range g.Data() {
+			if back.Data()[i] != g.Data()[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := testMachine()
+	g := gridFrom(m, 3, 2, []int32{1, 2, 3, 4, 5, 6})
+	tr := g.Transpose()
+	if tr.W != 2 || tr.H != 3 {
+		t.Fatalf("transpose dims %dx%d", tr.W, tr.H)
+	}
+	for y := 0; y < 2; y++ {
+		for x := 0; x < 3; x++ {
+			if g.At(x, y) != tr.At(y, x) {
+				t.Fatal("transpose wrong")
+			}
+		}
+	}
+	// Involution.
+	back := tr.Transpose()
+	for i := range g.Data() {
+		if back.Data()[i] != g.Data()[i] {
+			t.Fatal("double transpose not identity")
+		}
+	}
+}
+
+func TestAxisReductions(t *testing.T) {
+	m := testMachine()
+	g := gridFrom(m, 3, 2, []int32{5, 1, 3, 2, 8, 4})
+	rm := g.ReduceRowsMin()
+	if rm.At(0) != 1 || rm.At(1) != 2 {
+		t.Fatalf("ReduceRowsMin = %v", rm.Data())
+	}
+	rM := g.ReduceRowsMax()
+	if rM.At(0) != 5 || rM.At(1) != 8 {
+		t.Fatalf("ReduceRowsMax = %v", rM.Data())
+	}
+	rs := g.ReduceRowsSum()
+	if rs.At(0) != 9 || rs.At(1) != 14 {
+		t.Fatalf("ReduceRowsSum = %v", rs.Data())
+	}
+	cm := g.ReduceColsMin()
+	if cm.At(0) != 2 || cm.At(1) != 1 || cm.At(2) != 3 {
+		t.Fatalf("ReduceColsMin = %v", cm.Data())
+	}
+	cs := g.ReduceColsSum()
+	if cs.At(0) != 7 || cs.At(1) != 9 || cs.At(2) != 7 {
+		t.Fatalf("ReduceColsSum = %v", cs.Data())
+	}
+	if g.ReduceColsMax().At(1) != 8 {
+		t.Fatal("ReduceColsMax wrong")
+	}
+}
+
+func TestAxisReductionsAgreeWithGlobal(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		m := testMachine()
+		g := m.GridFromImage(pixmap.Random(8, seed))
+		rows := g.ReduceRowsMin()
+		minOfRows := rows.At(0)
+		for i := 1; i < rows.Len(); i++ {
+			if rows.At(i) < minOfRows {
+				minOfRows = rows.At(i)
+			}
+		}
+		return minOfRows == g.MinValue()
+	}, &quick.Config{MaxCount: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpread(t *testing.T) {
+	m := testMachine()
+	v := m.VecFromSlice([]int32{7, 9})
+	g := m.SpreadRows(v, 3)
+	if g.W != 3 || g.H != 2 || g.At(2, 0) != 7 || g.At(0, 1) != 9 {
+		t.Fatalf("SpreadRows = %v", g.Data())
+	}
+	h := m.SpreadCols(v, 3)
+	if h.W != 2 || h.H != 3 || h.At(0, 2) != 7 || h.At(1, 0) != 9 {
+		t.Fatalf("SpreadCols = %v", h.Data())
+	}
+}
+
+func TestSegScanMaxAndAdd(t *testing.T) {
+	m := testMachine()
+	keys := m.VecFromSlice([]int32{1, 1, 1, 2, 2})
+	starts := keys.SegStarts()
+	vals := m.VecFromSlice([]int32{3, 9, 4, 7, 2})
+	mask := m.NewBoolVec(5)
+	mask.Fill(true)
+	maxs := vals.SegScanMaxBroadcast(starts, mask, -1)
+	wantMax := []int32{9, 9, 9, 7, 7}
+	for i := range wantMax {
+		if maxs.At(i) != wantMax[i] {
+			t.Fatalf("SegScanMaxBroadcast = %v", maxs.Data())
+		}
+	}
+	sums := vals.SegScanAddBroadcast(starts, mask)
+	wantSum := []int32{16, 16, 16, 9, 9}
+	for i := range wantSum {
+		if sums.At(i) != wantSum[i] {
+			t.Fatalf("SegScanAddBroadcast = %v", sums.Data())
+		}
+	}
+	// Masked-out elements do not contribute.
+	mask.Data()[1] = false
+	if vals.SegScanMaxBroadcast(starts, mask, -1).At(0) != 4 {
+		t.Fatal("mask ignored in max")
+	}
+	if vals.SegScanAddBroadcast(starts, mask).At(2) != 7 {
+		t.Fatal("mask ignored in add")
+	}
+}
+
+func TestSegMinMaxDuality(t *testing.T) {
+	// max(x) == −min(−x) segment-wise.
+	err := quick.Check(func(seed uint64) bool {
+		m := testMachine()
+		im := pixmap.Random(8, seed)
+		keys := m.GridFromImage(im).Flatten().ModC(5)
+		perm := m.SortPairs(keys, m.IotaVec(keys.Len()))
+		keys = keys.Gather(perm)
+		vals := m.GridFromImage(pixmap.Random(8, seed+1)).Flatten().Gather(perm)
+		starts := keys.SegStarts()
+		mask := m.NewBoolVec(vals.Len())
+		mask.Fill(true)
+		maxs := vals.SegScanMaxBroadcast(starts, mask, -(1 << 30))
+		neg := vals.MulC(-1)
+		mins := neg.SegMinBroadcast(starts, mask, 1<<30)
+		for i := 0; i < vals.Len(); i++ {
+			if maxs.At(i) != -mins.At(i) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

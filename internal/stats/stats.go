@@ -1,0 +1,203 @@
+// Package stats renders experiment results in the layout of the paper's
+// tables and bar chart, and embeds the paper's published numbers so the
+// benchmark harness can print paper-vs-measured comparisons.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"regiongrow/internal/machine"
+	"regiongrow/internal/pixmap"
+)
+
+// Row is one configuration's line in a per-image table.
+type Row struct {
+	Config     machine.ConfigID
+	SplitSecs  float64
+	SplitIters int
+	MergeSecs  float64
+	MergeIters int
+	// Wall* are the real host durations in seconds (informational; the
+	// Secs columns above are simulated machine times).
+	WallSplit, WallMerge float64
+}
+
+// Experiment is one image's full table.
+type Experiment struct {
+	Image             pixmap.PaperImageID
+	SquaresAfterSplit int
+	FinalRegions      int
+	Rows              []Row
+}
+
+// RenderTable writes the experiment in the paper's table layout, with the
+// paper's published numbers alongside when available.
+func RenderTable(w io.Writer, exp Experiment) {
+	ref, hasRef := PaperTables[exp.Image]
+	fmt.Fprintf(w, "%s\n", exp.Image)
+	fmt.Fprintf(w, "No. of square regions found at end of split stage = %d", exp.SquaresAfterSplit)
+	if hasRef {
+		fmt.Fprintf(w, "   (paper: %d)", ref.Squares)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "No. of regions found at end of merge stage = %d", exp.FinalRegions)
+	if hasRef {
+		fmt.Fprintf(w, "   (paper: %d)", ref.FinalRegions)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-36s %9s %6s %9s %6s", "", "Split", "Split", "Merge", "Merge")
+	if hasRef {
+		fmt.Fprintf(w, "   %18s", "paper(split/merge)")
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-36s %9s %6s %9s %6s\n", "", "(secs)", "Iters", "(secs)", "Iters")
+	for _, r := range exp.Rows {
+		fmt.Fprintf(w, "%-36s %9.3f %6d %9.3f %6d",
+			r.Config, r.SplitSecs, r.SplitIters, r.MergeSecs, r.MergeIters)
+		if hasRef {
+			if pr, ok := ref.Rows[r.Config]; ok {
+				fmt.Fprintf(w, "   %7.3f /%8.3f", pr.Split, pr.Merge)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// BarChart draws a horizontal ASCII bar chart: one group of bars per
+// image, one bar per configuration — the shape of the paper's Figure 3.
+func BarChart(w io.Writer, title string, exps []Experiment) {
+	fmt.Fprintln(w, title)
+	maxV := 0.0
+	for _, e := range exps {
+		for _, r := range e.Rows {
+			if r.MergeSecs > maxV {
+				maxV = r.MergeSecs
+			}
+		}
+	}
+	if maxV <= 0 {
+		maxV = 1
+	}
+	const width = 56
+	for _, e := range exps {
+		fmt.Fprintf(w, "%s\n", e.Image)
+		for _, r := range e.Rows {
+			n := int(r.MergeSecs / maxV * width)
+			if n < 1 && r.MergeSecs > 0 {
+				n = 1
+			}
+			fmt.Fprintf(w, "  %-10s |%s %.3f s\n", r.Config.Short(), strings.Repeat("#", n), r.MergeSecs)
+		}
+	}
+	fmt.Fprintf(w, "(bar scale: %.1f s full width)\n", maxV)
+}
+
+// PaperRow holds one published (split, merge) pair in seconds.
+type PaperRow struct {
+	Split, Merge float64
+	SplitIters   int
+	MergeIters   int
+}
+
+// PaperTable holds one image's published table.
+type PaperTable struct {
+	Squares      int
+	FinalRegions int
+	Rows         map[machine.ConfigID]PaperRow
+}
+
+// PaperTables reproduces the six tables of the paper's Performance
+// section verbatim, keyed by image.
+var PaperTables = map[pixmap.PaperImageID]PaperTable{
+	pixmap.Image1NestedRects128: {
+		Squares: 436, FinalRegions: 2,
+		Rows: map[machine.ConfigID]PaperRow{
+			machine.CM2_8K:    {0.200, 9.511, 4, 19},
+			machine.CM2_16K:   {0.112, 7.027, 4, 20},
+			machine.CM5_CMF:   {0.361, 33.013, 4, 19},
+			machine.CM5_LP:    {0.022, 6.914, 4, 24},
+			machine.CM5_Async: {0.021, 4.025, 4, 20},
+		},
+	},
+	pixmap.Image2Rects128: {
+		Squares: 193, FinalRegions: 7,
+		Rows: map[machine.ConfigID]PaperRow{
+			machine.CM2_8K:    {0.200, 8.184, 4, 18},
+			machine.CM2_16K:   {0.112, 5.345, 4, 17},
+			machine.CM5_CMF:   {0.360, 31.615, 4, 20},
+			machine.CM5_LP:    {0.022, 9.236, 4, 35},
+			machine.CM5_Async: {0.021, 6.441, 4, 35},
+		},
+	},
+	pixmap.Image3Circles128: {
+		Squares: 1732, FinalRegions: 11,
+		Rows: map[machine.ConfigID]PaperRow{
+			machine.CM2_8K:    {0.200, 13.711, 4, 24},
+			machine.CM2_16K:   {0.112, 9.538, 4, 25},
+			machine.CM5_CMF:   {0.361, 42.570, 4, 27},
+			machine.CM5_LP:    {0.022, 9.454, 4, 33},
+			machine.CM5_Async: {0.021, 5.516, 4, 28},
+		},
+	},
+	pixmap.Image4NestedRects256: {
+		Squares: 823, FinalRegions: 2,
+		Rows: map[machine.ConfigID]PaperRow{
+			machine.CM2_8K:    {1.008, 13.882, 5, 26},
+			machine.CM2_16K:   {0.529, 10.381, 5, 28},
+			machine.CM5_CMF:   {2.052, 37.588, 5, 25},
+			machine.CM5_LP:    {0.097, 16.512, 5, 37},
+			machine.CM5_Async: {0.097, 10.942, 5, 29},
+		},
+	},
+	pixmap.Image5Rects256: {
+		Squares: 298, FinalRegions: 7,
+		Rows: map[machine.ConfigID]PaperRow{
+			machine.CM2_8K:    {1.008, 9.287, 5, 19},
+			machine.CM2_16K:   {0.529, 6.633, 5, 20},
+			machine.CM5_CMF:   {2.046, 24.471, 5, 16},
+			machine.CM5_LP:    {0.099, 14.388, 5, 35},
+			machine.CM5_Async: {0.098, 6.640, 5, 35},
+		},
+	},
+	pixmap.Image6Tool256: {
+		Squares: 2248, FinalRegions: 4,
+		Rows: map[machine.ConfigID]PaperRow{
+			machine.CM2_8K:    {1.008, 19.530, 5, 34},
+			machine.CM2_16K:   {0.529, 13.426, 5, 33},
+			machine.CM5_CMF:   {2.066, 75.582, 5, 45},
+			machine.CM5_LP:    {0.098, 12.192, 5, 36},
+			machine.CM5_Async: {0.098, 7.236, 5, 38},
+		},
+	},
+}
+
+// Orderings verifies the qualitative claims C2–C5 (DESIGN.md) over a set
+// of experiments: for every image, Async < LP, message passing < CM5 CM
+// Fortran, CM2-16K < CM2-8K, and CM2 (both) < CM5 in CM Fortran for the
+// merge stage. It returns a list of violations (empty when all hold).
+func Orderings(exps []Experiment) []string {
+	var bad []string
+	for _, e := range exps {
+		m := map[machine.ConfigID]Row{}
+		for _, r := range e.Rows {
+			m[r.Config] = r
+		}
+		check := func(faster, slower machine.ConfigID, claim string) {
+			a, okA := m[faster]
+			b, okB := m[slower]
+			if okA && okB && a.MergeSecs >= b.MergeSecs {
+				bad = append(bad, fmt.Sprintf("%v: %s violated: %v %.3fs >= %v %.3fs",
+					e.Image, claim, faster, a.MergeSecs, slower, b.MergeSecs))
+			}
+		}
+		check(machine.CM5_Async, machine.CM5_LP, "C2 async<LP")
+		check(machine.CM2_8K, machine.CM5_CMF, "C3 CM2<CM5(CMF)")
+		check(machine.CM2_16K, machine.CM5_CMF, "C3 CM2<CM5(CMF)")
+		check(machine.CM5_LP, machine.CM5_CMF, "C4 MP<DP on CM-5")
+		check(machine.CM5_Async, machine.CM5_CMF, "C4 MP<DP on CM-5")
+		check(machine.CM2_16K, machine.CM2_8K, "C5 16K<8K")
+	}
+	return bad
+}

@@ -1,0 +1,128 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+
+	"regiongrow/internal/machine"
+	"regiongrow/internal/pixmap"
+)
+
+func sampleExperiment() Experiment {
+	return Experiment{
+		Image:             pixmap.Image1NestedRects128,
+		SquaresAfterSplit: 500,
+		FinalRegions:      2,
+		Rows: []Row{
+			{Config: machine.CM2_8K, SplitSecs: 0.2, SplitIters: 4, MergeSecs: 9.0, MergeIters: 20},
+			{Config: machine.CM2_16K, SplitSecs: 0.1, SplitIters: 4, MergeSecs: 7.0, MergeIters: 20},
+			{Config: machine.CM5_CMF, SplitSecs: 0.4, SplitIters: 4, MergeSecs: 30.0, MergeIters: 20},
+			{Config: machine.CM5_LP, SplitSecs: 0.02, SplitIters: 4, MergeSecs: 7.0, MergeIters: 22},
+			{Config: machine.CM5_Async, SplitSecs: 0.02, SplitIters: 4, MergeSecs: 4.0, MergeIters: 21},
+		},
+	}
+}
+
+func TestRenderTable(t *testing.T) {
+	var sb strings.Builder
+	RenderTable(&sb, sampleExperiment())
+	out := sb.String()
+	for _, want := range []string{
+		"Image 1", "square regions found at end of split stage = 500",
+		"(paper: 436)", "regions found at end of merge stage = 2",
+		"CM Fortran on CM-2 ( 8K procs)", "9.000", "F77 + CMMD", "Async",
+		"9.511", // the paper's reference number appears alongside
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderTableWithoutReference(t *testing.T) {
+	exp := sampleExperiment()
+	exp.Image = pixmap.PaperImageID(99) // no paper data
+	var sb strings.Builder
+	RenderTable(&sb, exp)
+	if strings.Contains(sb.String(), "paper") {
+		t.Fatal("unexpected paper reference")
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	var sb strings.Builder
+	BarChart(&sb, "Figure 3", []Experiment{sampleExperiment()})
+	out := sb.String()
+	if !strings.Contains(out, "Figure 3") || !strings.Contains(out, "CM5-Async") {
+		t.Fatalf("chart malformed:\n%s", out)
+	}
+	// The largest value gets the longest bar.
+	lines := strings.Split(out, "\n")
+	barLen := func(substr string) int {
+		for _, l := range lines {
+			if strings.Contains(l, substr) {
+				return strings.Count(l, "#")
+			}
+		}
+		return -1
+	}
+	if barLen("CM5-CMF") <= barLen("CM5-Async") {
+		t.Fatal("bar lengths not proportional")
+	}
+}
+
+func TestBarChartEmpty(t *testing.T) {
+	var sb strings.Builder
+	BarChart(&sb, "empty", nil)
+	if !strings.Contains(sb.String(), "empty") {
+		t.Fatal("title missing")
+	}
+}
+
+func TestPaperTablesComplete(t *testing.T) {
+	for _, id := range pixmap.AllPaperImages() {
+		ref, ok := PaperTables[id]
+		if !ok {
+			t.Fatalf("%v missing from PaperTables", id)
+		}
+		if ref.Squares <= 0 || ref.FinalRegions <= 0 {
+			t.Fatalf("%v: bad header data", id)
+		}
+		for _, mc := range machine.AllConfigs() {
+			row, ok := ref.Rows[mc]
+			if !ok {
+				t.Fatalf("%v: missing row %v", id, mc)
+			}
+			if row.Split <= 0 || row.Merge <= 0 || row.SplitIters <= 0 || row.MergeIters <= 0 {
+				t.Fatalf("%v %v: non-positive entries %+v", id, mc, row)
+			}
+		}
+	}
+}
+
+func TestPaperTablesReflectClaims(t *testing.T) {
+	// The embedded reference data itself satisfies the paper's claims —
+	// a transcription check.
+	var exps []Experiment
+	for _, id := range pixmap.AllPaperImages() {
+		ref := PaperTables[id]
+		exp := Experiment{Image: id, SquaresAfterSplit: ref.Squares, FinalRegions: ref.FinalRegions}
+		for _, mc := range machine.AllConfigs() {
+			r := ref.Rows[mc]
+			exp.Rows = append(exp.Rows, Row{Config: mc, SplitSecs: r.Split, SplitIters: r.SplitIters,
+				MergeSecs: r.Merge, MergeIters: r.MergeIters})
+		}
+		exps = append(exps, exp)
+	}
+	if bad := Orderings(exps); len(bad) > 0 {
+		t.Fatalf("paper's own numbers violate claims: %v", bad)
+	}
+}
+
+func TestOrderingsDetectsViolation(t *testing.T) {
+	exp := sampleExperiment()
+	exp.Rows[4].MergeSecs = 100 // async slower than LP
+	if bad := Orderings([]Experiment{exp}); len(bad) == 0 {
+		t.Fatal("violation not detected")
+	}
+}

@@ -1,0 +1,239 @@
+// Package regiongrow reproduces "Solving the Region Growing Problem on the
+// Connection Machine" (Copty, Ranka, Fox, Shankar; ICPP 1993): parallel
+// image segmentation by split-and-merge region growing, in three execution
+// models — a sequential reference, a data-parallel (CM Fortran / CM-2
+// style) engine on a simulated SIMD machine, and a message-passing
+// (F77 + CMMD / CM-5 style) engine on a simulated multicomputer with the
+// paper's Linear Permutation and Async communication schemes.
+//
+// Quick start:
+//
+//	im := regiongrow.GeneratePaperImage(regiongrow.Image3Circles128)
+//	seg, err := regiongrow.Segment(im, regiongrow.Config{
+//		Threshold: 10,
+//		Tie:       regiongrow.RandomTie,
+//		Seed:      1,
+//	})
+//	// seg.Labels assigns every pixel a region ID; seg.FinalRegions == 11.
+//
+// To run one of the paper's machine configurations instead of the
+// sequential engine, build the engine explicitly:
+//
+//	eng, _ := regiongrow.NewEngine(regiongrow.CM5Async)
+//	seg, err := eng.Segment(im, cfg)
+//
+// All engines produce identical segmentations for the same Config — the
+// property-based test suite enforces it — so the engine choice affects
+// only the simulated machine times reported in the Segmentation.
+package regiongrow
+
+import (
+	"fmt"
+	"io"
+
+	"regiongrow/internal/core"
+	"regiongrow/internal/dpengine"
+	"regiongrow/internal/machine"
+	"regiongrow/internal/mpengine"
+	"regiongrow/internal/pixmap"
+	"regiongrow/internal/rag"
+	"regiongrow/internal/regstats"
+)
+
+// Image is a gray-scale raster; see the pixmap documentation for methods.
+type Image = pixmap.Image
+
+// NewImage allocates a w×h image of black pixels.
+func NewImage(w, h int) *Image { return pixmap.New(w, h) }
+
+// LoadPGM reads a PGM (P2 or P5) file.
+func LoadPGM(path string) (*Image, error) { return pixmap.LoadPGM(path) }
+
+// SavePGM writes a binary PGM file.
+func SavePGM(path string, im *Image) error { return pixmap.SavePGM(path, im) }
+
+// PaperImageID selects one of the paper's six evaluation images.
+type PaperImageID = pixmap.PaperImageID
+
+// The paper's six evaluation images.
+const (
+	Image1NestedRects128 = pixmap.Image1NestedRects128
+	Image2Rects128       = pixmap.Image2Rects128
+	Image3Circles128     = pixmap.Image3Circles128
+	Image4NestedRects256 = pixmap.Image4NestedRects256
+	Image5Rects256       = pixmap.Image5Rects256
+	Image6Tool256        = pixmap.Image6Tool256
+)
+
+// AllPaperImages lists the six evaluation images in the paper's order.
+func AllPaperImages() []PaperImageID { return pixmap.AllPaperImages() }
+
+// GeneratePaperImage synthesises one of the paper's evaluation images.
+func GeneratePaperImage(id PaperImageID) *Image {
+	return pixmap.Generate(id, pixmap.DefaultGenOptions())
+}
+
+// Config parameterises a segmentation run; see core.Config.
+type Config = core.Config
+
+// Segmentation is a completed segmentation; see core.Segmentation.
+type Segmentation = core.Segmentation
+
+// Engine runs the split-and-merge algorithm in one execution model.
+type Engine = core.Engine
+
+// TiePolicy selects merge tie-breaking; see rag.TiePolicy.
+type TiePolicy = rag.TiePolicy
+
+// Tie-breaking policies. RandomTie is the paper's recommendation: it
+// avoids the serialization that ID-based tie-breaking imposes on merges.
+const (
+	SmallestIDTie = rag.SmallestID
+	LargestIDTie  = rag.LargestID
+	RandomTie     = rag.Random
+)
+
+// EngineKind names an execution model plus machine configuration.
+type EngineKind int
+
+// Available engines. The CM-prefixed kinds simulate the paper's five
+// machine configurations and report simulated stage times in
+// Segmentation.SplitSim / MergeSim.
+const (
+	SequentialEngine EngineKind = iota
+	CM2DataParallel8K
+	CM2DataParallel16K
+	CM5DataParallel
+	CM5LinearPermutation
+	CM5Async
+)
+
+// String returns a stable name for the engine kind.
+func (k EngineKind) String() string {
+	switch k {
+	case SequentialEngine:
+		return "sequential"
+	case CM2DataParallel8K:
+		return "cm2-8k"
+	case CM2DataParallel16K:
+		return "cm2-16k"
+	case CM5DataParallel:
+		return "cm5-cmf"
+	case CM5LinearPermutation:
+		return "cm5-lp"
+	case CM5Async:
+		return "cm5-async"
+	default:
+		return fmt.Sprintf("EngineKind(%d)", int(k))
+	}
+}
+
+// ParseEngineKind resolves the names printed by String.
+func ParseEngineKind(s string) (EngineKind, error) {
+	for _, k := range []EngineKind{SequentialEngine, CM2DataParallel8K,
+		CM2DataParallel16K, CM5DataParallel, CM5LinearPermutation, CM5Async} {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("regiongrow: unknown engine %q (want sequential, cm2-8k, cm2-16k, cm5-cmf, cm5-lp, or cm5-async)", s)
+}
+
+// MachineConfig returns the simulated machine configuration of an engine
+// kind, and whether it has one (the sequential engine does not).
+func (k EngineKind) MachineConfig() (machine.ConfigID, bool) {
+	switch k {
+	case CM2DataParallel8K:
+		return machine.CM2_8K, true
+	case CM2DataParallel16K:
+		return machine.CM2_16K, true
+	case CM5DataParallel:
+		return machine.CM5_CMF, true
+	case CM5LinearPermutation:
+		return machine.CM5_LP, true
+	case CM5Async:
+		return machine.CM5_Async, true
+	default:
+		return 0, false
+	}
+}
+
+// NewEngine constructs the engine for a kind.
+func NewEngine(kind EngineKind) (Engine, error) {
+	switch kind {
+	case SequentialEngine:
+		return core.Sequential{}, nil
+	case CM2DataParallel8K:
+		return dpengine.New(machine.CM2_8K)
+	case CM2DataParallel16K:
+		return dpengine.New(machine.CM2_16K)
+	case CM5DataParallel:
+		return dpengine.New(machine.CM5_CMF)
+	case CM5LinearPermutation:
+		return mpengine.New(machine.CM5_LP)
+	case CM5Async:
+		return mpengine.New(machine.CM5_Async)
+	default:
+		return nil, fmt.Errorf("regiongrow: unknown engine kind %d", int(kind))
+	}
+}
+
+// AllEngineKinds lists the five simulated configurations in the order of
+// the paper's tables.
+func AllEngineKinds() []EngineKind {
+	return []EngineKind{CM2DataParallel8K, CM2DataParallel16K,
+		CM5DataParallel, CM5LinearPermutation, CM5Async}
+}
+
+// Segment runs the sequential reference engine.
+func Segment(im *Image, cfg Config) (*Segmentation, error) {
+	return core.Sequential{}.Segment(im, cfg)
+}
+
+// SegmentSerial runs the serial merge baseline (one merge per iteration —
+// the R−1 worst case of the paper's complexity analysis). Use it to
+// quantify what parallel mutual merging buys.
+func SegmentSerial(im *Image, cfg Config) (*Segmentation, error) {
+	return core.SerialBaseline{}.Segment(im, cfg)
+}
+
+// RegionStat summarises one final region: area, bounding box, centroid,
+// mean intensity, perimeter, and adjacent regions.
+type RegionStat = regstats.Region
+
+// ComputeRegionStats derives per-region statistics from a segmentation.
+func ComputeRegionStats(seg *Segmentation, im *Image) []RegionStat {
+	return regstats.Compute(im, seg.Labels)
+}
+
+// SummarizeRegions aggregates region statistics.
+func SummarizeRegions(rs []RegionStat) regstats.Summary { return regstats.Summarize(rs) }
+
+// WriteRegionJSON emits region statistics as JSON.
+func WriteRegionJSON(w io.Writer, rs []RegionStat) error { return regstats.WriteJSON(w, rs) }
+
+// WriteRegionDOT emits the final region adjacency graph in Graphviz DOT
+// form.
+func WriteRegionDOT(w io.Writer, rs []RegionStat) error { return regstats.WriteDOT(w, rs) }
+
+// Recolour paints every region of a segmentation with the midpoint of its
+// intensity interval, producing an image in which the region structure is
+// visible in any PGM viewer.
+func Recolour(seg *Segmentation, im *Image) *Image {
+	shade := make(map[int32]uint8, len(seg.Regions))
+	for _, r := range seg.Regions {
+		shade[r.ID] = uint8((int(r.IV.Lo) + int(r.IV.Hi)) / 2)
+	}
+	out := pixmap.New(im.W, im.H)
+	for i, lab := range seg.Labels {
+		out.Pix[i] = shade[lab]
+	}
+	return out
+}
+
+// Validate checks a segmentation's postconditions against its source
+// image: valid partition, connected regions, per-region homogeneity, and
+// no remaining mergeable adjacent pair.
+func Validate(seg *Segmentation, im *Image, cfg Config) error {
+	return core.Validate(seg, im, cfg.Criterion())
+}

@@ -1,0 +1,154 @@
+package regiongrow
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestEngineKindRoundTrip(t *testing.T) {
+	kinds := append([]EngineKind{SequentialEngine}, AllEngineKinds()...)
+	for _, k := range kinds {
+		parsed, err := ParseEngineKind(k.String())
+		if err != nil || parsed != k {
+			t.Errorf("round trip %v: %v, %v", k, parsed, err)
+		}
+	}
+	if _, err := ParseEngineKind("bogus"); err == nil {
+		t.Fatal("parsed bogus engine")
+	}
+}
+
+func TestMachineConfig(t *testing.T) {
+	if _, ok := SequentialEngine.MachineConfig(); ok {
+		t.Fatal("sequential should have no machine config")
+	}
+	for _, k := range AllEngineKinds() {
+		if _, ok := k.MachineConfig(); !ok {
+			t.Errorf("%v missing machine config", k)
+		}
+	}
+}
+
+func TestNewEngineAllKinds(t *testing.T) {
+	for _, k := range append([]EngineKind{SequentialEngine}, AllEngineKinds()...) {
+		eng, err := NewEngine(k)
+		if err != nil || eng == nil {
+			t.Errorf("NewEngine(%v): %v", k, err)
+		}
+	}
+	if _, err := NewEngine(EngineKind(99)); err == nil {
+		t.Fatal("NewEngine(99) succeeded")
+	}
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	im := GeneratePaperImage(Image2Rects128)
+	cfg := Config{Threshold: 10, Tie: RandomTie, Seed: 1}
+	seg, err := Segment(im, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seg.FinalRegions != 7 {
+		t.Fatalf("final regions = %d, want 7", seg.FinalRegions)
+	}
+	if err := Validate(seg, im, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestImageIO(t *testing.T) {
+	im := NewImage(8, 8)
+	im.FillRect(0, 0, 8, 8, 42)
+	path := filepath.Join(t.TempDir(), "x.pgm")
+	if err := SavePGM(path, im); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadPGM(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !im.Equal(back) {
+		t.Fatal("round trip failed")
+	}
+}
+
+func TestRunExperimentSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full five-config experiment")
+	}
+	exp, err := RunExperiment(Image2Rects128, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exp.Rows) != 5 {
+		t.Fatalf("rows = %d", len(exp.Rows))
+	}
+	if exp.FinalRegions != 7 {
+		t.Fatalf("final regions = %d", exp.FinalRegions)
+	}
+	var sb strings.Builder
+	WriteTable(&sb, exp)
+	if !strings.Contains(sb.String(), "Image 2") {
+		t.Fatal("table render wrong")
+	}
+	sb.Reset()
+	WriteFigure3(&sb, []Experiment{exp})
+	if !strings.Contains(sb.String(), "Figure 3") {
+		t.Fatal("figure render wrong")
+	}
+	if bad := CheckOrderings([]Experiment{exp}); len(bad) > 0 {
+		t.Fatalf("orderings violated: %v", bad)
+	}
+}
+
+// TestCrossEngineEquivalence is the central integration test: every
+// engine produces the identical segmentation for identical configs.
+func TestCrossEngineEquivalence(t *testing.T) {
+	im := GeneratePaperImage(Image3Circles128)
+	for _, tie := range []TiePolicy{SmallestIDTie, RandomTie} {
+		cfg := Config{Threshold: 10, Tie: tie, Seed: 1234}
+		ref, err := Segment(im, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range AllEngineKinds() {
+			eng, err := NewEngine(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seg, err := eng.Segment(im, cfg)
+			if err != nil {
+				t.Fatalf("%v: %v", k, err)
+			}
+			if !ref.EqualLabels(seg) {
+				t.Errorf("%v (tie=%v): segmentation differs from sequential", k, tie)
+			}
+			if ref.MergeIterations != seg.MergeIterations {
+				t.Errorf("%v (tie=%v): merge iterations %d vs %d", k, tie, ref.MergeIterations, seg.MergeIterations)
+			}
+		}
+	}
+}
+
+func TestTiePolicyAblation(t *testing.T) {
+	// The paper's claim C1: random tie-breaking yields more merges per
+	// iteration (fewer iterations) than smallest-ID on their inputs.
+	im := GeneratePaperImage(Image1NestedRects128)
+	smallest, err := Segment(im, Config{Threshold: 10, Tie: SmallestIDTie})
+	if err != nil {
+		t.Fatal(err)
+	}
+	random, err := Segment(im, Config{Threshold: 10, Tie: RandomTie, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if random.MergeIterations > smallest.MergeIterations {
+		t.Fatalf("random (%d iters) should not need more iterations than smallest-id (%d)",
+			random.MergeIterations, smallest.MergeIterations)
+	}
+	if random.FinalRegions != smallest.FinalRegions {
+		t.Fatalf("policies disagree on final regions: %d vs %d",
+			random.FinalRegions, smallest.FinalRegions)
+	}
+}
