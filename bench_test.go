@@ -212,12 +212,63 @@ func BenchmarkBaseline_CCL(b *testing.B) {
 	})
 }
 
+// BenchmarkNativeVsSequential compares host wall time of the native
+// shared-memory engine against the single-threaded reference on the
+// paper's 128px and 256px images plus a 512px upscale — the speedup
+// benchmark for the native engine (run with GOMAXPROCS >= 4 to see the
+// worker pool pay off; ns/op is the metric to compare between the
+// sequential/ and native/ variants of each image).
+func BenchmarkNativeVsSequential(b *testing.B) {
+	im512, err := GeneratePaperImage(Image6Tool256).Upsample(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	images := []struct {
+		name string
+		im   *Image
+	}{
+		{"image3-circles-128", GeneratePaperImage(Image3Circles128)},
+		{"image4-nested-256", GeneratePaperImage(Image4NestedRects256)},
+		{"image6-tool-256", GeneratePaperImage(Image6Tool256)},
+		{"tool-512", im512},
+	}
+	cfg := DefaultConfig()
+	for _, tc := range images {
+		ref, err := Segment(tc.im, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, kind := range []EngineKind{SequentialEngine, NativeParallel} {
+			b.Run(fmt.Sprintf("%s/%s", tc.name, kind), func(b *testing.B) {
+				eng, err := NewEngine(kind)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var seg *Segmentation
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					seg, err = eng.Segment(tc.im, cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				if !ref.EqualLabels(seg) {
+					b.Fatal("labels differ from sequential reference")
+				}
+				b.ReportMetric(float64(seg.FinalRegions), "regions")
+			})
+		}
+	}
+}
+
 // BenchmarkEngineWallTime measures the host-side wall performance of the
-// three execution models on one image (the goroutine-tiled SIMD emulation
-// and the goroutine cluster versus the single-threaded reference).
+// four execution models on one image (the goroutine-tiled SIMD emulation,
+// the goroutine cluster, and the native shared-memory engine versus the
+// single-threaded reference).
 func BenchmarkEngineWallTime(b *testing.B) {
 	im := GeneratePaperImage(Image2Rects128)
-	for _, kind := range []EngineKind{SequentialEngine, CM2DataParallel8K, CM5Async} {
+	for _, kind := range []EngineKind{SequentialEngine, CM2DataParallel8K, CM5Async, NativeParallel} {
 		b.Run(kind.String(), func(b *testing.B) {
 			eng, err := NewEngine(kind)
 			if err != nil {

@@ -5,7 +5,10 @@
 //
 // Usage:
 //
-//	benchtab [-threshold T] [-seed S] [-tie P] [-markdown]
+//	benchtab [-threshold T] [-seed S] [-tie P] [-native]
+//
+// With -native, each table carries a sixth row for the native
+// shared-memory engine (host wall times; it simulates no machine).
 package main
 
 import (
@@ -23,6 +26,7 @@ func main() {
 	threshold := flag.Int("threshold", 10, "homogeneity threshold T")
 	seed := flag.Uint64("seed", 1, "random tie seed")
 	tieName := flag.String("tie", "random", "tie policy: random, smallest-id, largest-id")
+	native := flag.Bool("native", false, "append a native shared-memory engine row to each table")
 	flag.Parse()
 
 	tie := regiongrow.RandomTie
@@ -37,9 +41,13 @@ func main() {
 	}
 	cfg := regiongrow.Config{Threshold: *threshold, Tie: tie, Seed: *seed}
 
+	run := regiongrow.RunExperiment
+	if *native {
+		run = regiongrow.RunExperimentWithNative
+	}
 	var exps []regiongrow.Experiment
 	for i, id := range regiongrow.AllPaperImages() {
-		exp, err := regiongrow.RunExperiment(id, cfg)
+		exp, err := run(id, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -5,10 +5,13 @@
 // Usage:
 //
 //	regiongrow [-engine E] [-threshold T] [-tie P] [-seed S]
-//	           [-maxsquare M] [-o out.pgm] input.pgm
+//	           [-maxsquare M] [-o out.pgm] [-dot out.dot] [-json out.json]
+//	           input.pgm
 //
 // Engines: sequential (default), cm2-8k, cm2-16k, cm5-cmf, cm5-lp,
-// cm5-async. The CM engines additionally report simulated machine times.
+// cm5-async, native. The CM engines additionally report simulated machine
+// times; native runs the algorithm on host goroutines (GOMAXPROCS
+// workers).
 package main
 
 import (
@@ -24,7 +27,8 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("regiongrow: ")
-	engineName := flag.String("engine", "sequential", "execution engine")
+	engineName := flag.String("engine", "sequential",
+		"execution engine: sequential, cm2-8k, cm2-16k, cm5-cmf, cm5-lp, cm5-async, or native")
 	threshold := flag.Int("threshold", 10, "pixel-range homogeneity threshold T")
 	tieName := flag.String("tie", "random", "tie policy: random, smallest-id, largest-id")
 	seed := flag.Uint64("seed", 1, "random tie seed")
@@ -34,7 +38,9 @@ func main() {
 	jsonPath := flag.String("json", "", "write per-region statistics as JSON")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: regiongrow [flags] input.pgm")
+		fmt.Fprintln(os.Stderr, "usage: regiongrow [-engine E] [-threshold T] [-tie P] [-seed S]")
+		fmt.Fprintln(os.Stderr, "                  [-maxsquare M] [-o out.pgm] [-dot out.dot] [-json out.json]")
+		fmt.Fprintln(os.Stderr, "                  input.pgm")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}

@@ -5,6 +5,34 @@ import (
 	"testing"
 )
 
+// TestSegmentNativeFacade: the facade-level native entry point matches the
+// sequential reference on a paper image, and the native engine kind's
+// MachineConfig reports no simulated machine.
+func TestSegmentNativeFacade(t *testing.T) {
+	im := GeneratePaperImage(Image3Circles128)
+	cfg := DefaultConfig()
+	want, err := Segment(im, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := SegmentNative(im, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.EqualLabels(got) {
+		t.Fatal("native labels differ from sequential")
+	}
+	if got.FinalRegions != 11 {
+		t.Fatalf("native regions = %d, want 11", got.FinalRegions)
+	}
+	if _, ok := NativeParallel.MachineConfig(); ok {
+		t.Fatal("NativeParallel reports a simulated machine config")
+	}
+	if err := Validate(got, im, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestSegmentSerial(t *testing.T) {
 	im := GeneratePaperImage(Image2Rects128)
 	seg, err := SegmentSerial(im, Config{Threshold: 10})

@@ -1,0 +1,3 @@
+module regiongrow
+
+go 1.24.0

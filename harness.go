@@ -4,12 +4,16 @@ import (
 	"fmt"
 	"io"
 
+	"regiongrow/internal/machine"
 	"regiongrow/internal/stats"
 )
 
 // Experiment is one image's results across all five machine
 // configurations — the unit the paper's tables report.
 type Experiment = stats.Experiment
+
+// Row is one configuration's line in an experiment table.
+type Row = stats.Row
 
 // RunExperiment executes one of the paper's six experiments: it generates
 // the image, runs all five machine configurations, and returns the table.
@@ -60,6 +64,47 @@ func RunExperiment(id PaperImageID, cfg Config) (Experiment, error) {
 		exp.SquaresAfterSplit = seg.SquaresAfterSplit
 		exp.FinalRegions = seg.FinalRegions
 	}
+	return exp, nil
+}
+
+// NativeRow runs the native shared-memory engine on one paper image and
+// returns its table row. The simulated-seconds columns are zero — the
+// native engine models no machine — and the host timings land in
+// WallSplit/WallMerge. The row uses the seed exactly as configured (the
+// native engine's segmentations must match the sequential engine's for
+// equal seeds, so there is no per-model seed derivation).
+func NativeRow(id PaperImageID, cfg Config) (Row, error) {
+	im := GeneratePaperImage(id)
+	seg, err := SegmentNative(im, cfg)
+	if err != nil {
+		return Row{}, fmt.Errorf("regiongrow: native on %v: %w", id, err)
+	}
+	if err := Validate(seg, im, cfg); err != nil {
+		return Row{}, fmt.Errorf("regiongrow: native on %v produced invalid segmentation: %w", id, err)
+	}
+	return Row{
+		Config:     machine.HostNative,
+		SplitIters: seg.SplitIterations,
+		MergeIters: seg.MergeIterations,
+		WallSplit:  seg.SplitWall.Seconds(),
+		WallMerge:  seg.MergeWall.Seconds(),
+	}, nil
+}
+
+// RunExperimentWithNative runs the paper's five rows (RunExperiment) and
+// appends a sixth row for the native shared-memory engine. The paper's
+// tables keep their five-row shape by default; callers opt into the extra
+// row with this helper.
+func RunExperimentWithNative(id PaperImageID, cfg Config) (Experiment, error) {
+	exp, err := RunExperiment(id, cfg)
+	if err != nil {
+		return exp, err
+	}
+	row, err := NativeRow(id, cfg)
+	if err != nil {
+		return exp, err
+	}
+	exp.Rows = append(exp.Rows, row)
 	return exp, nil
 }
 

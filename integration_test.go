@@ -10,6 +10,7 @@ import (
 	"regiongrow/internal/mpengine"
 	"regiongrow/internal/mpvm"
 	"regiongrow/internal/pixmap"
+	"regiongrow/internal/shmengine"
 )
 
 // TestFullMatrixSmallImages drives every engine (plus custom node counts
@@ -39,6 +40,8 @@ func TestFullMatrixSmallImages(t *testing.T) {
 	engines = append(engines,
 		mpengine.NewCustom(4, mpvm.LP, machine.Get(machine.CM5_LP)),
 		mpengine.NewCustom(8, mpvm.Async, machine.Get(machine.CM5_Async)),
+		shmengine.New(),
+		shmengine.NewWithWorkers(3),
 		core.SerialBaseline{},
 	)
 
@@ -89,6 +92,61 @@ func rectScene(w, h int) *pixmap.Image {
 	im.FillRect(w/8+1, h/8+1, w-w/8-1, h-h/8-1, 120)
 	im.FillRect(w/2, h/4, w-2, h/2, 220)
 	return im
+}
+
+// TestNativeMatchesSequentialOnPaperImages is the native engine's
+// acceptance property: byte-identical segmentations to the sequential
+// reference on all six paper images under all three tie policies.
+func TestNativeMatchesSequentialOnPaperImages(t *testing.T) {
+	for _, id := range AllPaperImages() {
+		im := GeneratePaperImage(id)
+		for _, tie := range []TiePolicy{SmallestIDTie, LargestIDTie, RandomTie} {
+			cfg := Config{Threshold: 10, Tie: tie, Seed: 1}
+			ref, err := Segment(im, cfg)
+			if err != nil {
+				t.Fatalf("%v/%v: %v", id, tie, err)
+			}
+			seg, err := SegmentNative(im, cfg)
+			if err != nil {
+				t.Fatalf("%v/%v: %v", id, tie, err)
+			}
+			if !ref.EqualLabels(seg) {
+				t.Errorf("%v/%v: native labels differ from sequential", id, tie)
+			}
+			if seg.MergeIterations != ref.MergeIterations {
+				t.Errorf("%v/%v: native merge iters %d, want %d", id, tie, seg.MergeIterations, ref.MergeIterations)
+			}
+			if err := Validate(seg, im, cfg); err != nil {
+				t.Errorf("%v/%v: %v", id, tie, err)
+			}
+		}
+	}
+}
+
+// TestRunExperimentWithNative checks the optional sixth table row: the
+// native engine's row carries host wall times, no simulated seconds, and
+// the same split iteration count as the simulated rows.
+func TestRunExperimentWithNative(t *testing.T) {
+	exp, err := RunExperimentWithNative(Image2Rects128, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exp.Rows) != 6 {
+		t.Fatalf("%d rows, want 5 simulated + 1 native", len(exp.Rows))
+	}
+	nat := exp.Rows[5]
+	if nat.Config != machine.HostNative {
+		t.Fatalf("last row config = %v, want HostNative", nat.Config)
+	}
+	if nat.SplitSecs != 0 || nat.MergeSecs != 0 {
+		t.Fatalf("native row has simulated seconds: %+v", nat)
+	}
+	if nat.SplitIters != exp.Rows[0].SplitIters {
+		t.Fatalf("native split iters %d, want %d", nat.SplitIters, exp.Rows[0].SplitIters)
+	}
+	if nat.WallSplit <= 0 || nat.WallMerge <= 0 {
+		t.Fatalf("native row missing host wall times: %+v", nat)
+	}
 }
 
 // TestPaperOrderingsHold regenerates the full evaluation (all six images,

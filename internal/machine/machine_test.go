@@ -1,6 +1,9 @@
 package machine
 
-import "testing"
+import (
+	"fmt"
+	"testing"
+)
 
 func TestAllConfigsHaveProfiles(t *testing.T) {
 	for _, c := range AllConfigs() {
@@ -42,6 +45,29 @@ func TestGetPanicsOnUnknown(t *testing.T) {
 		}
 	}()
 	Get(ConfigID(99))
+}
+
+func TestHostNative(t *testing.T) {
+	if HostNative.Short() != "native" {
+		t.Errorf("HostNative.Short() = %q", HostNative.Short())
+	}
+	if HostNative.String() == fmt.Sprintf("ConfigID(%d)", int(HostNative)) {
+		t.Error("HostNative has no display name")
+	}
+	if HostNative.IsMessagePassing() {
+		t.Error("HostNative reported as message passing")
+	}
+	for _, c := range AllConfigs() {
+		if c == HostNative {
+			t.Error("HostNative must not be in AllConfigs (it has no cost profile)")
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Get(HostNative) did not panic")
+		}
+	}()
+	Get(HostNative)
 }
 
 func TestElemOpScaling(t *testing.T) {

@@ -12,6 +12,12 @@ const (
 	CM5_CMF
 	CM5_LP
 	CM5_Async
+
+	// HostNative identifies the native shared-memory engine, which runs
+	// the algorithm on host goroutines and simulates no machine. It exists
+	// so experiment tables can carry a native row next to the paper's five;
+	// it is not in AllConfigs and has no cost Profile (Get panics for it).
+	HostNative
 )
 
 // AllConfigs lists the five configurations in table order.
@@ -32,6 +38,8 @@ func (c ConfigID) String() string {
 		return "F77 + CMMD on CM-5 (32 nodes, LP)"
 	case CM5_Async:
 		return "F77 + CMMD on CM-5 (32 nodes, Async)"
+	case HostNative:
+		return "Native goroutines on host"
 	default:
 		return fmt.Sprintf("ConfigID(%d)", int(c))
 	}
@@ -50,6 +58,8 @@ func (c ConfigID) Short() string {
 		return "CM5-LP"
 	case CM5_Async:
 		return "CM5-Async"
+	case HostNative:
+		return "native"
 	default:
 		return fmt.Sprintf("cfg%d", int(c))
 	}
@@ -114,6 +124,8 @@ func Get(c ConfigID) *Profile {
 			TSplitLevel:     0.68e-3,
 			TMergeIterFixed: 0.083, TMergeIterPixel: 9.1e-5,
 		}
+	case HostNative:
+		panic("machine: HostNative runs on the host and has no cost profile")
 	default:
 		panic(fmt.Sprintf("machine: unknown config %d", int(c)))
 	}

@@ -1,0 +1,125 @@
+// Tile-parallel split. The sequential Split never creates a square larger
+// than the effective cap, and every square is aligned to its own size, so
+// no square can straddle a grid line at a multiple of the cap. Partitioning
+// the image into cap-aligned tiles and splitting each tile independently
+// therefore produces exactly the labels, sizes, and per-level combine
+// counts of the global algorithm — which is what makes a native
+// shared-memory split both easy and byte-identical to the reference.
+package quadsplit
+
+import (
+	"math/bits"
+	"sync"
+
+	"regiongrow/internal/homog"
+	"regiongrow/internal/pixmap"
+)
+
+// minTile is the smallest tile side SplitParallel uses. Tiles must be a
+// multiple of the effective cap for correctness; beyond that, larger tiles
+// amortise per-tile overhead while still exposing enough parallelism.
+const minTile = 32
+
+// SplitParallel runs the split stage on `workers` goroutines by splitting
+// cap-aligned tiles independently and stitching the results. It produces a
+// Result identical to Split's for every image, criterion, and option set.
+// workers <= 1 (or an image spanned by a single tile) falls back to Split.
+func SplitParallel(im *pixmap.Image, crit homog.Criterion, opt Options, workers int) *Result {
+	w, h := im.W, im.H
+	if w == 0 || h == 0 || workers <= 1 {
+		return Split(im, crit, opt)
+	}
+	cap := EffectiveCap(opt, w, h)
+	tile := cap
+	for tile < minTile {
+		tile *= 2
+	}
+	tx := (w + tile - 1) / tile
+	ty := (h + tile - 1) / tile
+	if tx*ty == 1 {
+		return Split(im, crit, opt)
+	}
+
+	res := &Result{
+		W: w, H: h,
+		Labels:        make([]int32, w*h),
+		Size:          make([]int32, w*h),
+		MaxSquareUsed: cap,
+	}
+
+	type tileOut struct {
+		numSquares      int
+		combinedPerIter []int
+	}
+	outs := make([]tileOut, tx*ty)
+
+	var wg sync.WaitGroup
+	next := make(chan int)
+	go func() {
+		for t := 0; t < tx*ty; t++ {
+			next <- t
+		}
+		close(next)
+	}()
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range next {
+				x0 := (t % tx) * tile
+				y0 := (t / tx) * tile
+				tw := min(tile, w-x0)
+				th := min(tile, h-y0)
+				sub, err := im.SubImage(x0, y0, tw, th)
+				if err != nil {
+					panic(err) // unreachable: tile geometry is in bounds
+				}
+				r := Split(sub, crit, Options{MaxSquare: cap})
+				outs[t] = tileOut{numSquares: r.NumSquares, combinedPerIter: r.CombinedPerIter}
+				// Re-anchor tile-local labels at the global NW pixel index.
+				for ly := 0; ly < th; ly++ {
+					grow := (y0 + ly) * w
+					for lx := 0; lx < tw; lx++ {
+						ll := r.Labels[ly*tw+lx]
+						llx, lly := int(ll)%tw, int(ll)/tw
+						gi := grow + x0 + lx
+						res.Labels[gi] = int32((y0+lly)*w + x0 + llx)
+						res.Size[gi] = r.Size[ly*tw+lx]
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Aggregate per-level combine counts and replay the sequential
+	// termination rule: pass l runs while the previous pass combined
+	// something, up to the cap's level. (A tile that stops early simply
+	// contributes zero to later levels, which is also what its blocks
+	// contribute in the global algorithm.) The remaining sequential
+	// termination condition — the whole image becoming one solid square —
+	// requires cap >= max(w, h), which forces the single-tile fallback
+	// above, so it cannot trigger here.
+	maxLevel := bits.Len(uint(cap)) - 1
+	combined := make([]int, maxLevel+1)
+	for _, o := range outs {
+		res.NumSquares += o.numSquares
+		for i, c := range o.combinedPerIter {
+			if i+1 <= maxLevel {
+				combined[i+1] += c
+			}
+		}
+	}
+	for l := 1; l <= maxLevel; l++ {
+		res.Iterations++
+		res.CombinedPerIter = append(res.CombinedPerIter, combined[l])
+		if combined[l] == 0 {
+			break
+		}
+	}
+	if res.Iterations == 0 {
+		res.Iterations = 1
+		res.CombinedPerIter = append(res.CombinedPerIter, 0)
+	}
+	return res
+}

@@ -242,18 +242,24 @@ func (s MergeStats) TotalMerges() int {
 	return total
 }
 
-// MergeAll runs merge iterations until no active edges remain, mutating the
-// graph. It returns per-iteration statistics and a map from every original
-// vertex ID ever merged into another to its surviving representative's ID
-// is available through Find on the returned Assignments.
-func (g *Graph) MergeAll(policy TiePolicy, seed uint64) (MergeStats, *Assignments) {
+// Drive runs the merge-stage control loop shared by every engine: iterate
+// while hasActive reports an active edge, forcing one SmallestID round
+// whenever the Random policy stalls (no merges despite active edges) three
+// times in a row so progress is guaranteed. iterate executes one round
+// under the effective policy and returns the number of pairs merged.
+//
+// Engines differ only in *how* they evaluate an iteration (sequentially,
+// on a simulated machine, or fanned out over goroutines); the loop
+// semantics — iteration numbering, stall accounting, forced resolutions —
+// live here so engines sharing the driver cannot drift apart. MergeAll
+// (the sequential kernel) and the native shmengine run on it; dpengine
+// and mpengine still inline the same loop interleaved with their
+// simulated-cost accounting, with the cross-engine property tests pinning
+// them to these semantics.
+func Drive(policy TiePolicy, hasActive func() bool, iterate func(effective TiePolicy, iter int) int) MergeStats {
 	var stats MergeStats
-	asg := NewAssignments()
 	stalls := 0
-	for {
-		if g.ActiveEdges() == 0 {
-			break
-		}
+	for hasActive() {
 		stats.Iterations++
 		effective := policy
 		if policy == Random && stalls >= 3 {
@@ -261,7 +267,7 @@ func (g *Graph) MergeAll(policy TiePolicy, seed uint64) (MergeStats, *Assignment
 			stats.ForcedResolutions++
 			stalls = 0
 		}
-		merged := g.MergeIteration(effective, seed, stats.Iterations, asg)
+		merged := iterate(effective, stats.Iterations)
 		stats.MergesPerIter = append(stats.MergesPerIter, merged)
 		if merged == 0 {
 			stalls++
@@ -269,6 +275,20 @@ func (g *Graph) MergeAll(policy TiePolicy, seed uint64) (MergeStats, *Assignment
 			stalls = 0
 		}
 	}
+	return stats
+}
+
+// MergeAll runs merge iterations until no active edges remain, mutating the
+// graph. It returns per-iteration statistics and a map from every original
+// vertex ID ever merged into another to its surviving representative's ID
+// is available through Find on the returned Assignments.
+func (g *Graph) MergeAll(policy TiePolicy, seed uint64) (MergeStats, *Assignments) {
+	asg := NewAssignments()
+	stats := Drive(policy,
+		func() bool { return g.ActiveEdges() > 0 },
+		func(effective TiePolicy, iter int) int {
+			return g.MergeIteration(effective, seed, iter, asg)
+		})
 	return stats, asg
 }
 

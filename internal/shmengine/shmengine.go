@@ -1,0 +1,308 @@
+// Package shmengine implements the native shared-memory parallel engine:
+// the paper's split-and-merge region growing run directly on host
+// goroutines, with no simulated machine in the loop.
+//
+// Where dpengine and mpengine optimise for fidelity to the CM-2 and CM-5
+// cost models, this engine optimises for host throughput:
+//
+//   - the split stage partitions the image into cap-aligned tiles and runs
+//     the quadtree combine passes per tile (quadsplit.SplitParallel);
+//   - the region adjacency graph is built from cap-aligned row bands, one
+//     partial graph per band, stitched along band boundaries;
+//   - each merge round computes every region's best-neighbour choice on a
+//     worker pool sized to GOMAXPROCS, then contracts the mutual pairs.
+//
+// Determinism is free by construction: every tie-break in rag.Choose is a
+// pure function of (seed, iteration, region id), so the parallel schedule
+// cannot change any decision, and the engine produces byte-identical
+// segmentations to core.Sequential for every configuration. The test suite
+// enforces that property across images, thresholds, tie policies, and
+// worker counts.
+package shmengine
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"regiongrow/internal/core"
+	"regiongrow/internal/homog"
+	"regiongrow/internal/pixmap"
+	"regiongrow/internal/quadsplit"
+	"regiongrow/internal/rag"
+)
+
+// Engine is the native shared-memory engine.
+type Engine struct {
+	// workers is the worker pool size; 0 follows GOMAXPROCS at Segment time.
+	workers int
+}
+
+// New returns a native engine whose worker pool follows GOMAXPROCS.
+func New() *Engine { return &Engine{} }
+
+// NewWithWorkers returns a native engine with a fixed worker pool size.
+// n <= 0 follows GOMAXPROCS.
+func NewWithWorkers(n int) *Engine { return &Engine{workers: n} }
+
+// Name implements core.Engine.
+func (e *Engine) Name() string { return "native" }
+
+// Workers returns the effective worker pool size.
+func (e *Engine) Workers() int {
+	if e.workers > 0 {
+		return e.workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Segment implements core.Engine.
+func (e *Engine) Segment(im *pixmap.Image, cfg core.Config) (*core.Segmentation, error) {
+	workers := e.Workers()
+	crit := cfg.Criterion()
+
+	t0 := time.Now()
+	sp := quadsplit.SplitParallel(im, crit, quadsplit.Options{MaxSquare: cfg.MaxSquare}, workers)
+	splitWall := time.Since(t0)
+
+	t1 := time.Now()
+	g, ids := buildRAG(im, sp.Labels, crit, sp.MaxSquareUsed, workers)
+	stats, asg := mergeAll(g, ids, cfg.Tie, cfg.Seed, workers)
+	labels := relabel(sp.Labels, ids, asg, workers)
+	mergeWall := time.Since(t1)
+
+	seg := &core.Segmentation{
+		W: im.W, H: im.H,
+		Labels:            labels,
+		SplitIterations:   sp.Iterations,
+		MergeIterations:   stats.Iterations,
+		SquaresAfterSplit: sp.NumSquares,
+		MergesPerIter:     stats.MergesPerIter,
+		ForcedResolutions: stats.ForcedResolutions,
+		SplitWall:         splitWall,
+		MergeWall:         mergeWall,
+	}
+	seg.FillRegions(im)
+	return seg, nil
+}
+
+// parallel runs fn over [0, n) in contiguous chunks on up to `workers`
+// goroutines and waits for completion.
+func parallel(workers, n int, fn func(start, end int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for start := 0; start < n; start += chunk {
+		end := min(start+chunk, n)
+		wg.Add(1)
+		go func(s, e int) {
+			defer wg.Done()
+			fn(s, e)
+		}(start, end)
+	}
+	wg.Wait()
+}
+
+// buildRAG constructs the region adjacency graph of the split labelling on
+// the worker pool. Split regions are squares no larger than the cap and
+// aligned to their own size, so a row band whose height is a multiple of
+// the cap contains only whole regions: each band yields a complete partial
+// graph (full vertex intervals, every intra-band edge), and the bands are
+// stitched by adding the edges that cross band boundaries. The returned ID
+// list holds every region ID in ascending order; mergeAll and relabel
+// reuse it.
+func buildRAG(im *pixmap.Image, labels []int32, crit homog.Criterion, cap, workers int) (*rag.Graph, []int32) {
+	w, h := im.W, im.H
+	g := rag.NewGraph(crit)
+	if w == 0 || h == 0 {
+		return g, nil
+	}
+	if cap < 1 {
+		cap = 1
+	}
+	blocks := (h + cap - 1) / cap
+	bands := min(workers, blocks)
+	perBand := (blocks + bands - 1) / bands
+
+	// Band extents in rows; the last band absorbs the remainder.
+	starts := make([]int, 0, bands)
+	ends := make([]int, 0, bands)
+	for b := 0; b < bands; b++ {
+		y0 := b * perBand * cap
+		y1 := min((b+1)*perBand*cap, h)
+		if y0 >= y1 {
+			break
+		}
+		starts = append(starts, y0)
+		ends = append(ends, y1)
+	}
+
+	partial := make([]*rag.Graph, len(starts))
+	parallel(workers, len(starts), func(s, e int) {
+		for b := s; b < e; b++ {
+			bg := rag.NewGraph(crit)
+			y0, y1 := starts[b], ends[b]
+			for y := y0; y < y1; y++ {
+				row := y * w
+				for x := 0; x < w; x++ {
+					i := row + x
+					bg.AddVertex(labels[i], homog.Point(im.Pix[i]))
+				}
+			}
+			for y := y0; y < y1; y++ {
+				row := y * w
+				for x := 0; x < w; x++ {
+					i := row + x
+					if x+1 < w && labels[i] != labels[i+1] {
+						bg.AddEdge(labels[i], labels[i+1])
+					}
+					if y+1 < y1 && labels[i] != labels[i+w] {
+						bg.AddEdge(labels[i], labels[i+w])
+					}
+				}
+			}
+			partial[b] = bg
+		}
+	})
+
+	// Merge the partial graphs (vertex ID sets are disjoint across bands)
+	// and stitch the edges crossing each band boundary.
+	for _, bg := range partial {
+		for id, v := range bg.Verts {
+			g.Verts[id] = v
+		}
+	}
+	for _, y1 := range ends {
+		if y1 >= h {
+			continue
+		}
+		row := (y1 - 1) * w
+		for x := 0; x < w; x++ {
+			i := row + x
+			if labels[i] != labels[i+w] {
+				g.AddEdge(labels[i], labels[i+w])
+			}
+		}
+	}
+
+	ids := make([]int32, 0, len(g.Verts))
+	for id := range g.Verts {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return g, ids
+}
+
+// mergeAll is the parallel twin of rag.(*Graph).MergeAll: the same
+// rag.Drive control loop, with the per-vertex choice computation and the
+// active-edge test fanned out over the worker pool. Because choices are
+// pure functions of the graph snapshot, the result is identical to the
+// sequential kernel's.
+func mergeAll(g *rag.Graph, ids []int32, policy rag.TiePolicy, seed uint64, workers int) (rag.MergeStats, *rag.Assignments) {
+	asg := rag.NewAssignments()
+	verts := make([]*rag.Vertex, len(ids))
+	for i, id := range ids {
+		verts[i] = g.Verts[id]
+	}
+	stats := rag.Drive(policy,
+		func() bool { return hasActiveEdge(g, verts, workers) },
+		func(effective rag.TiePolicy, iter int) int {
+			var merged int
+			merged, verts = mergeIteration(g, verts, effective, seed, iter, asg, workers)
+			return merged
+		})
+	return stats, asg
+}
+
+// hasActiveEdge reports whether any edge still satisfies the criterion,
+// scanning vertex adjacencies in parallel with an early-exit flag.
+func hasActiveEdge(g *rag.Graph, verts []*rag.Vertex, workers int) bool {
+	var found atomic.Bool
+	parallel(workers, len(verts), func(s, e int) {
+		for i := s; i < e && !found.Load(); i++ {
+			v := verts[i]
+			for wid := range v.Adj {
+				if g.Crit.Homogeneous(v.IV.Union(g.Verts[wid].IV)) {
+					found.Store(true)
+					return
+				}
+			}
+		}
+	})
+	return found.Load()
+}
+
+// mergeIteration executes one merge round: parallel choice computation,
+// mutual-pair detection, and sequential contraction of the (disjoint)
+// pairs in ascending-ID order — the same order rag.MergeIteration uses.
+// It returns the number of pairs merged and the surviving vertex slice.
+func mergeIteration(g *rag.Graph, verts []*rag.Vertex, policy rag.TiePolicy, seed uint64, iter int, asg *rag.Assignments, workers int) (int, []*rag.Vertex) {
+	choices := make([]int32, len(verts))
+	parallel(workers, len(verts), func(s, e int) {
+		for i := s; i < e; i++ {
+			choices[i] = g.Choose(verts[i], policy, seed, iter)
+		}
+	})
+
+	choiceOf := make(map[int32]int32, len(verts))
+	for i, v := range verts {
+		if choices[i] != rag.NoChoice {
+			choiceOf[v.ID] = choices[i]
+		}
+	}
+	var pairs [][2]int32
+	for i, v := range verts {
+		c := choices[i]
+		if c != rag.NoChoice && v.ID < c && choiceOf[c] == v.ID {
+			pairs = append(pairs, [2]int32{v.ID, c})
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i][0] < pairs[j][0] })
+
+	if len(pairs) == 0 {
+		return 0, verts
+	}
+	losers := make(map[int32]struct{}, len(pairs))
+	for _, p := range pairs {
+		g.Contract(p[0], p[1])
+		asg.Record(p[1], p[0])
+		losers[p[1]] = struct{}{}
+	}
+	alive := verts[:0]
+	for _, v := range verts {
+		if _, gone := losers[v.ID]; !gone {
+			alive = append(alive, v)
+		}
+	}
+	return len(pairs), alive
+}
+
+// relabel maps split-stage labels through the merge assignments. Roots are
+// resolved once per region sequentially (Find compresses paths, so it must
+// not race); the per-pixel mapping then fans out over the pool.
+func relabel(labels []int32, ids []int32, asg *rag.Assignments, workers int) []int32 {
+	roots := make(map[int32]int32, len(ids))
+	for _, id := range ids {
+		roots[id] = asg.Find(id)
+	}
+	out := make([]int32, len(labels))
+	parallel(workers, len(labels), func(s, e int) {
+		for i := s; i < e; i++ {
+			out[i] = roots[labels[i]]
+		}
+	})
+	return out
+}
+
+var _ core.Engine = (*Engine)(nil)

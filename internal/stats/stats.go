@@ -54,19 +54,30 @@ func RenderTable(w io.Writer, exp Experiment) {
 	fmt.Fprintln(w)
 	fmt.Fprintf(w, "%-36s %9s %6s %9s %6s\n", "", "(secs)", "Iters", "(secs)", "Iters")
 	for _, r := range exp.Rows {
+		split, merge := r.SplitSecs, r.MergeSecs
+		note := ""
+		if r.Config == machine.HostNative {
+			// The native engine models no machine; report host wall time.
+			split, merge = r.WallSplit, r.WallMerge
+			note = "   (host wall time)"
+		}
 		fmt.Fprintf(w, "%-36s %9.3f %6d %9.3f %6d",
-			r.Config, r.SplitSecs, r.SplitIters, r.MergeSecs, r.MergeIters)
+			r.Config, split, r.SplitIters, merge, r.MergeIters)
 		if hasRef {
 			if pr, ok := ref.Rows[r.Config]; ok {
 				fmt.Fprintf(w, "   %7.3f /%8.3f", pr.Split, pr.Merge)
 			}
 		}
+		fmt.Fprint(w, note)
 		fmt.Fprintln(w)
 	}
 }
 
 // BarChart draws a horizontal ASCII bar chart: one group of bars per
 // image, one bar per configuration — the shape of the paper's Figure 3.
+// Native rows are omitted: the figure compares simulated machine times,
+// and the native engine has none (its host wall time appears in the
+// tables instead).
 func BarChart(w io.Writer, title string, exps []Experiment) {
 	fmt.Fprintln(w, title)
 	maxV := 0.0
@@ -84,6 +95,9 @@ func BarChart(w io.Writer, title string, exps []Experiment) {
 	for _, e := range exps {
 		fmt.Fprintf(w, "%s\n", e.Image)
 		for _, r := range e.Rows {
+			if r.Config == machine.HostNative {
+				continue
+			}
 			n := int(r.MergeSecs / maxV * width)
 			if n < 1 && r.MergeSecs > 0 {
 				n = 1

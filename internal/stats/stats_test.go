@@ -71,6 +71,39 @@ func TestBarChart(t *testing.T) {
 	}
 }
 
+func TestRenderTableNativeRow(t *testing.T) {
+	exp := sampleExperiment()
+	exp.Rows = append(exp.Rows, Row{
+		Config: machine.HostNative, SplitIters: 4, MergeIters: 21,
+		WallSplit: 0.00123, WallMerge: 0.00456,
+	})
+	var sb strings.Builder
+	RenderTable(&sb, exp)
+	out := sb.String()
+	if !strings.Contains(out, "Native goroutines on host") {
+		t.Fatalf("native row missing:\n%s", out)
+	}
+	if !strings.Contains(out, "(host wall time)") {
+		t.Fatalf("native row not marked as host wall time:\n%s", out)
+	}
+	// The native row shows its wall times, not simulated zeros.
+	for _, l := range strings.Split(out, "\n") {
+		if strings.Contains(l, "Native goroutines") && !strings.Contains(l, "0.005") {
+			t.Fatalf("native row does not carry wall merge time: %q", l)
+		}
+	}
+
+	// Figure 3 compares simulated times only; the native row is omitted.
+	sb.Reset()
+	BarChart(&sb, "Figure 3", []Experiment{exp})
+	if strings.Contains(sb.String(), "native") {
+		t.Fatalf("native row leaked into the bar chart:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "CM5-Async") {
+		t.Fatalf("simulated rows missing from chart:\n%s", sb.String())
+	}
+}
+
 func TestBarChartEmpty(t *testing.T) {
 	var sb strings.Builder
 	BarChart(&sb, "empty", nil)

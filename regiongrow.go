@@ -1,10 +1,12 @@
 // Package regiongrow reproduces "Solving the Region Growing Problem on the
 // Connection Machine" (Copty, Ranka, Fox, Shankar; ICPP 1993): parallel
-// image segmentation by split-and-merge region growing, in three execution
+// image segmentation by split-and-merge region growing, in four execution
 // models — a sequential reference, a data-parallel (CM Fortran / CM-2
-// style) engine on a simulated SIMD machine, and a message-passing
+// style) engine on a simulated SIMD machine, a message-passing
 // (F77 + CMMD / CM-5 style) engine on a simulated multicomputer with the
-// paper's Linear Permutation and Async communication schemes.
+// paper's Linear Permutation and Async communication schemes, and a native
+// shared-memory engine that runs the algorithm on host goroutines with no
+// simulated machine.
 //
 // Quick start:
 //
@@ -38,6 +40,7 @@ import (
 	"regiongrow/internal/pixmap"
 	"regiongrow/internal/rag"
 	"regiongrow/internal/regstats"
+	"regiongrow/internal/shmengine"
 )
 
 // Image is a gray-scale raster; see the pixmap documentation for methods.
@@ -98,7 +101,9 @@ type EngineKind int
 
 // Available engines. The CM-prefixed kinds simulate the paper's five
 // machine configurations and report simulated stage times in
-// Segmentation.SplitSim / MergeSim.
+// Segmentation.SplitSim / MergeSim. NativeParallel runs the algorithm on
+// host goroutines (worker pool sized to GOMAXPROCS) and reports host wall
+// times only.
 const (
 	SequentialEngine EngineKind = iota
 	CM2DataParallel8K
@@ -106,6 +111,7 @@ const (
 	CM5DataParallel
 	CM5LinearPermutation
 	CM5Async
+	NativeParallel
 )
 
 // String returns a stable name for the engine kind.
@@ -123,6 +129,8 @@ func (k EngineKind) String() string {
 		return "cm5-lp"
 	case CM5Async:
 		return "cm5-async"
+	case NativeParallel:
+		return "native"
 	default:
 		return fmt.Sprintf("EngineKind(%d)", int(k))
 	}
@@ -131,16 +139,18 @@ func (k EngineKind) String() string {
 // ParseEngineKind resolves the names printed by String.
 func ParseEngineKind(s string) (EngineKind, error) {
 	for _, k := range []EngineKind{SequentialEngine, CM2DataParallel8K,
-		CM2DataParallel16K, CM5DataParallel, CM5LinearPermutation, CM5Async} {
+		CM2DataParallel16K, CM5DataParallel, CM5LinearPermutation, CM5Async,
+		NativeParallel} {
 		if k.String() == s {
 			return k, nil
 		}
 	}
-	return 0, fmt.Errorf("regiongrow: unknown engine %q (want sequential, cm2-8k, cm2-16k, cm5-cmf, cm5-lp, or cm5-async)", s)
+	return 0, fmt.Errorf("regiongrow: unknown engine %q (want sequential, cm2-8k, cm2-16k, cm5-cmf, cm5-lp, cm5-async, or native)", s)
 }
 
 // MachineConfig returns the simulated machine configuration of an engine
-// kind, and whether it has one (the sequential engine does not).
+// kind, and whether it has one (the sequential and native engines model no
+// machine).
 func (k EngineKind) MachineConfig() (machine.ConfigID, bool) {
 	switch k {
 	case CM2DataParallel8K:
@@ -173,13 +183,16 @@ func NewEngine(kind EngineKind) (Engine, error) {
 		return mpengine.New(machine.CM5_LP)
 	case CM5Async:
 		return mpengine.New(machine.CM5_Async)
+	case NativeParallel:
+		return shmengine.New(), nil
 	default:
 		return nil, fmt.Errorf("regiongrow: unknown engine kind %d", int(kind))
 	}
 }
 
 // AllEngineKinds lists the five simulated configurations in the order of
-// the paper's tables.
+// the paper's tables. SequentialEngine and NativeParallel are not included:
+// they model no machine, so they have no row in the paper's tables.
 func AllEngineKinds() []EngineKind {
 	return []EngineKind{CM2DataParallel8K, CM2DataParallel16K,
 		CM5DataParallel, CM5LinearPermutation, CM5Async}
@@ -195,6 +208,14 @@ func Segment(im *Image, cfg Config) (*Segmentation, error) {
 // quantify what parallel mutual merging buys.
 func SegmentSerial(im *Image, cfg Config) (*Segmentation, error) {
 	return core.SerialBaseline{}.Segment(im, cfg)
+}
+
+// SegmentNative runs the native shared-memory engine: split, RAG build,
+// and merge rounds on a worker pool sized to GOMAXPROCS. Its labels are
+// byte-identical to Segment's for every Config; only the wall times
+// differ.
+func SegmentNative(im *Image, cfg Config) (*Segmentation, error) {
+	return shmengine.New().Segment(im, cfg)
 }
 
 // RegionStat summarises one final region: area, bounding box, centroid,

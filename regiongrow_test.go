@@ -6,22 +6,39 @@ import (
 	"testing"
 )
 
+// TestEngineKindRoundTrip: every engine kind — the five simulated
+// configurations plus the sequential and native engines — has a stable
+// name that survives a String/ParseEngineKind round trip; unknown names
+// are rejected with a descriptive error.
 func TestEngineKindRoundTrip(t *testing.T) {
-	kinds := append([]EngineKind{SequentialEngine}, AllEngineKinds()...)
+	kinds := append([]EngineKind{SequentialEngine, NativeParallel}, AllEngineKinds()...)
 	for _, k := range kinds {
-		parsed, err := ParseEngineKind(k.String())
+		name := k.String()
+		if name == "" || strings.HasPrefix(name, "EngineKind(") {
+			t.Errorf("kind %d has no stable name: %q", int(k), name)
+		}
+		parsed, err := ParseEngineKind(name)
 		if err != nil || parsed != k {
 			t.Errorf("round trip %v: %v, %v", k, parsed, err)
 		}
 	}
-	if _, err := ParseEngineKind("bogus"); err == nil {
-		t.Fatal("parsed bogus engine")
+	for _, bad := range []string{"bogus", "", "Native", "sequential "} {
+		_, err := ParseEngineKind(bad)
+		if err == nil {
+			t.Fatalf("parsed %q", bad)
+		}
+		if !strings.Contains(err.Error(), "unknown engine") || !strings.Contains(err.Error(), "native") {
+			t.Errorf("ParseEngineKind(%q) error not descriptive: %v", bad, err)
+		}
 	}
 }
 
 func TestMachineConfig(t *testing.T) {
 	if _, ok := SequentialEngine.MachineConfig(); ok {
 		t.Fatal("sequential should have no machine config")
+	}
+	if _, ok := NativeParallel.MachineConfig(); ok {
+		t.Fatal("native should have no machine config")
 	}
 	for _, k := range AllEngineKinds() {
 		if _, ok := k.MachineConfig(); !ok {
@@ -31,7 +48,7 @@ func TestMachineConfig(t *testing.T) {
 }
 
 func TestNewEngineAllKinds(t *testing.T) {
-	for _, k := range append([]EngineKind{SequentialEngine}, AllEngineKinds()...) {
+	for _, k := range append([]EngineKind{SequentialEngine, NativeParallel}, AllEngineKinds()...) {
 		eng, err := NewEngine(k)
 		if err != nil || eng == nil {
 			t.Errorf("NewEngine(%v): %v", k, err)
@@ -112,7 +129,7 @@ func TestCrossEngineEquivalence(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		for _, k := range AllEngineKinds() {
+		for _, k := range append([]EngineKind{NativeParallel}, AllEngineKinds()...) {
 			eng, err := NewEngine(k)
 			if err != nil {
 				t.Fatal(err)
