@@ -29,15 +29,9 @@ func main() {
 	native := flag.Bool("native", false, "append a native shared-memory engine row to each table")
 	flag.Parse()
 
-	tie := regiongrow.RandomTie
-	switch *tieName {
-	case "random":
-	case "smallest-id":
-		tie = regiongrow.SmallestIDTie
-	case "largest-id":
-		tie = regiongrow.LargestIDTie
-	default:
-		log.Fatalf("unknown tie policy %q", *tieName)
+	tie, err := regiongrow.ParseTiePolicy(*tieName)
+	if err != nil {
+		log.Fatal(err)
 	}
 	cfg := regiongrow.Config{Threshold: *threshold, Tie: tie, Seed: *seed}
 

@@ -49,16 +49,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	var tie regiongrow.TiePolicy
-	switch *tieName {
-	case "random":
-		tie = regiongrow.RandomTie
-	case "smallest-id":
-		tie = regiongrow.SmallestIDTie
-	case "largest-id":
-		tie = regiongrow.LargestIDTie
-	default:
-		log.Fatalf("unknown tie policy %q", *tieName)
+	tie, err := regiongrow.ParseTiePolicy(*tieName)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	im, err := regiongrow.LoadPGM(flag.Arg(0))

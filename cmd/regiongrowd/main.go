@@ -1,0 +1,92 @@
+// Command regiongrowd serves split-and-merge segmentation over HTTP: PGM
+// uploads (or the paper's six images by name) in, labels as PGM or JSON
+// with per-region statistics out, through a bounded worker pool with an
+// LRU result cache.
+//
+// Usage:
+//
+//	regiongrowd [-addr :8080] [-workers N] [-queue D] [-cache E]
+//	            [-maxbody BYTES] [-drain TIMEOUT]
+//
+// Endpoints:
+//
+//	POST /v1/segment?engine=E&threshold=T&tie=P&seed=S&maxsquare=M
+//	                &image=NAME&format=json|pgm&labels=1
+//	GET  /v1/stats     queue depth, in-flight jobs, cache hit/miss
+//	                   counters, per-engine latency histograms
+//	GET  /healthz      liveness
+//
+// The body of POST /v1/segment is a P2/P5 PGM; with ?image=image1…image6
+// the body is ignored and the named paper image is segmented instead. When
+// the job queue is full the server answers 429 rather than queueing
+// unboundedly. On SIGINT/SIGTERM it stops accepting connections, drains
+// in-flight requests (up to -drain), then drains the worker pool and
+// exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"regiongrow/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("regiongrowd: ")
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 64, "job queue depth (full queue answers 429)")
+	cache := flag.Int("cache", 256, "LRU result cache entries (negative disables)")
+	maxBody := flag.Int64("maxbody", 16<<20, "maximum PGM upload size in bytes")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: regiongrowd [-addr :8080] [-workers N] [-queue D] [-cache E] [-maxbody BYTES] [-drain TIMEOUT]")
+		os.Exit(2)
+	}
+
+	svc := server.New(server.Options{
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		CacheEntries: *cache,
+		MaxBodyBytes: *maxBody,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("listening on %s (workers=%d queue=%d cache=%d)",
+		*addr, svc.Stats().Queue.Workers, *queue, *cache)
+
+	select {
+	case <-ctx.Done():
+		log.Printf("shutdown signal received, draining for up to %v", *drain)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+		svc.Close()
+		log.Print("drained, exiting")
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,11 @@
+// Package core defines the segmentation data model shared by all engines
+// and provides the sequential reference engine for the split-and-merge
+// region growing algorithm.
+//
+// An Engine consumes an image and a Config and produces a Segmentation:
+// final per-pixel labels plus the statistics the paper reports (split
+// iterations, merge iterations, stage timings). The sequential engine here
+// fixes the semantics; the data-parallel engine (internal/dpengine) and the
+// message-passing engine (internal/mpengine) must produce identical
+// segmentations under deterministic tie policies.
+package core

@@ -1,0 +1,18 @@
+// Package machine models the execution cost of the Connection Machine
+// configurations the paper evaluates. The CM-2 and CM-5 no longer exist, so
+// the engines charge every primitive they execute (elementwise operation,
+// NEWS shift, router transaction, scan, sort, message, barrier) to a
+// simulated clock parameterised by a Profile.
+//
+// The model is LogP-flavoured rather than cycle-accurate: a data-parallel
+// operation over n virtual elements on P processing elements costs
+// ceil(n/P) element steps plus a fixed per-operation overhead; routed
+// communication pays a latency plus per-element cost; messages pay a setup
+// cost alpha plus a per-word cost beta. The constants were calibrated
+// against the paper's split-stage times (which depend only on image size,
+// not content, making them a clean calibration target); merge-stage times
+// are then *predictions* of the model, and cmd/benchtab prints them beside
+// the paper's tables. Absolute fidelity is impossible; the model is judged
+// on orderings and ratios (async < LP < data-parallel CM-5; CM-2 16K <
+// CM-2 8K; CM-2 < CM-5 in CM Fortran).
+package machine

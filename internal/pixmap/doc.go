@@ -1,0 +1,9 @@
+// Package pixmap provides the gray-scale image representation used by the
+// region growing engines, PGM input/output, and generators for the six
+// synthetic images evaluated in the paper (nested rectangles, rectangle
+// collections, circle collections, and a "tool" silhouette).
+//
+// Pixels are 8-bit intensities stored row-major in a single backing slice,
+// the layout the paper's CM Fortran implementation uses for its
+// two-dimensional arrays.
+package pixmap

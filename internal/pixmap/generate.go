@@ -2,6 +2,7 @@ package pixmap
 
 import (
 	"fmt"
+	"strings"
 
 	"regiongrow/internal/prand"
 )
@@ -71,6 +72,27 @@ func AllPaperImages() []PaperImageID {
 		Image1NestedRects128, Image2Rects128, Image3Circles128,
 		Image4NestedRects256, Image5Rects256, Image6Tool256,
 	}
+}
+
+// ShortName returns the compact identifier ("image1" … "image6") that
+// ParsePaperImageID accepts and the file generators use.
+func (id PaperImageID) ShortName() string {
+	if id >= Image1NestedRects128 && id <= Image6Tool256 {
+		return fmt.Sprintf("image%d", int(id))
+	}
+	return fmt.Sprintf("PaperImageID(%d)", int(id))
+}
+
+// ParsePaperImageID resolves a paper image by short name: "image1" through
+// "image6", or just the digit "1" through "6". Matching is
+// case-insensitive.
+func ParsePaperImageID(s string) (PaperImageID, error) {
+	t := strings.ToLower(strings.TrimSpace(s))
+	t = strings.TrimPrefix(t, "image")
+	if len(t) == 1 && t[0] >= '1' && t[0] <= '6' {
+		return PaperImageID(t[0] - '0'), nil
+	}
+	return 0, fmt.Errorf("pixmap: unknown paper image %q (want image1 … image6)", s)
 }
 
 // GenOptions control the synthetic generators.

@@ -1,13 +1,3 @@
-// Package prand provides small deterministic pseudo-random generators for
-// the region growing engines.
-//
-// The paper breaks merge-choice ties "by selecting a neighbor at random";
-// on the Connection Machine each processor drew from its own stream. To make
-// runs reproducible across the sequential, data-parallel, and
-// message-passing engines, every random decision here is a pure function of
-// (seed, iteration, region id, ...) via a SplitMix64-style hash, so the same
-// seed yields the same tie-breaks regardless of how work is scheduled onto
-// goroutines.
 package prand
 
 // splitmix64 advances the SplitMix64 state and returns the next output.

@@ -1,19 +1,3 @@
-// Package rag implements the region adjacency graph (RAG) and the mutual
-// best-neighbour merge kernel at the heart of the merge stage.
-//
-// The region growing problem is reformulated as a weighted undirected graph
-// problem: vertices are regions, an edge joins two regions sharing a
-// boundary, and the weight of edge (v,w) is the pixel range of the union of
-// the two regions' intensity intervals. Only edges whose weight satisfies
-// the homogeneity criterion are active. Each iteration every region picks
-// its best active neighbour (minimum weight, ties broken by policy); two
-// regions merge exactly when they pick each other; the smaller ID becomes
-// the representative.
-//
-// The kernel here defines the *semantics* all three engines (sequential,
-// data parallel, message passing) must agree on. Choices are pure functions
-// of (graph state, policy, seed, iteration), so engines that evaluate them
-// with different parallel schedules still produce identical segmentations.
 package rag
 
 import (

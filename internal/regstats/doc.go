@@ -1,0 +1,6 @@
+// Package regstats computes per-region statistics of a completed
+// segmentation — areas, bounding boxes, centroids, mean intensities,
+// perimeters, and the final region adjacency relation — and exports them
+// as JSON or as a Graphviz DOT rendering of the final region adjacency
+// graph.
+package regstats

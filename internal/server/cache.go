@@ -1,0 +1,90 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"regiongrow"
+)
+
+// resultCache is a fixed-capacity LRU over completed segmentations, keyed
+// by regiongrow.CacheKey — (image content hash, canonicalized config,
+// engine kind). Caching full results is sound precisely because every
+// engine is deterministic: equal keys imply byte-identical output, so a
+// cached Segmentation can be served verbatim. Cached values are shared
+// across requests and must be treated as immutable.
+type resultCache struct {
+	mu     sync.Mutex
+	cap    int
+	ll     *list.List // front = most recently used
+	byKey  map[string]*list.Element
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type cacheEntry struct {
+	key string
+	seg *regiongrow.Segmentation
+}
+
+// newResultCache returns an LRU holding up to capacity entries. A
+// non-positive capacity disables caching: Get always misses and Put is a
+// no-op.
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		cap:   capacity,
+		ll:    list.New(),
+		byKey: make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached segmentation for key, marking it most recently
+// used, and records a hit or miss.
+func (c *resultCache) Get(key string) (*regiongrow.Segmentation, bool) {
+	if c.cap <= 0 {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits.Add(1)
+		return el.Value.(*cacheEntry).seg, true
+	}
+	c.misses.Add(1)
+	return nil, false
+}
+
+// Put inserts (or refreshes) key, evicting the least recently used entry
+// when the cache is full.
+func (c *resultCache) Put(key string, seg *regiongrow.Segmentation) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*cacheEntry).seg = seg
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.ll.PushFront(&cacheEntry{key: key, seg: seg})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Len reports the current entry count.
+func (c *resultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Hits and Misses report the lookup counters.
+func (c *resultCache) Hits() int64   { return c.hits.Load() }
+func (c *resultCache) Misses() int64 { return c.misses.Load() }

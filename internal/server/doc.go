@@ -1,0 +1,13 @@
+// Package server implements regiongrowd's HTTP segmentation service: a
+// bounded persistent worker pool over the regiongrow engines, an LRU
+// result cache, and the handlers for /v1/segment, /v1/stats, and /healthz.
+//
+// The service accepts PGM uploads (or the paper's six evaluation images by
+// name) and returns the segmentation as JSON with per-region statistics or
+// as a recoloured PGM. Results are cached by (image content hash,
+// canonicalized config, engine kind) — sound because every engine is
+// deterministic, so equal keys imply byte-identical output. A full job
+// queue rejects new work with 429 Too Many Requests rather than queueing
+// unboundedly, and Close drains accepted work so graceful shutdown loses
+// nothing.
+package server

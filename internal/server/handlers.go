@@ -1,0 +1,229 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"regiongrow"
+)
+
+// segmentResponse is the JSON document returned by POST /v1/segment.
+type segmentResponse struct {
+	Engine string        `json:"engine"`
+	Cache  string        `json:"cache"` // "hit" or "miss"
+	Image  imageMeta     `json:"image"`
+	Config configMeta    `json:"config"`
+	Result segmentResult `json:"result"`
+}
+
+type imageMeta struct {
+	Name   string `json:"name,omitempty"` // set for paper images
+	Width  int    `json:"width"`
+	Height int    `json:"height"`
+	SHA256 string `json:"sha256"`
+}
+
+type configMeta struct {
+	Threshold int    `json:"threshold"`
+	Tie       string `json:"tie"`
+	Seed      uint64 `json:"seed"`
+	MaxSquare int    `json:"max_square"`
+}
+
+type segmentResult struct {
+	FinalRegions      int                     `json:"final_regions"`
+	SplitIterations   int                     `json:"split_iterations"`
+	MergeIterations   int                     `json:"merge_iterations"`
+	SquaresAfterSplit int                     `json:"squares_after_split"`
+	SplitWallMs       float64                 `json:"split_wall_ms"`
+	MergeWallMs       float64                 `json:"merge_wall_ms"`
+	SplitSimSecs      float64                 `json:"split_sim_s,omitempty"`
+	MergeSimSecs      float64                 `json:"merge_sim_s,omitempty"`
+	Regions           []regiongrow.RegionStat `json:"regions"`
+	Labels            []int32                 `json:"labels,omitempty"`
+}
+
+// segmentRequest is a parsed and validated /v1/segment request.
+type segmentRequest struct {
+	im        *regiongrow.Image
+	imageName string
+	cfg       regiongrow.Config
+	kind      regiongrow.EngineKind
+	format    string // "json" or "pgm"
+	labels    bool
+}
+
+func (s *Server) parseSegmentRequest(r *http.Request) (*segmentRequest, error) {
+	q := r.URL.Query()
+	req := &segmentRequest{
+		cfg:    regiongrow.Config{Threshold: 10, Tie: regiongrow.RandomTie, Seed: 1},
+		kind:   regiongrow.SequentialEngine,
+		format: "json",
+	}
+	var err error
+	if v := q.Get("engine"); v != "" {
+		if req.kind, err = regiongrow.ParseEngineKind(v); err != nil {
+			return nil, err
+		}
+	}
+	if v := q.Get("tie"); v != "" {
+		if req.cfg.Tie, err = regiongrow.ParseTiePolicy(v); err != nil {
+			return nil, err
+		}
+	}
+	if v := q.Get("threshold"); v != "" {
+		if req.cfg.Threshold, err = strconv.Atoi(v); err != nil || req.cfg.Threshold < 0 {
+			return nil, fmt.Errorf("bad threshold %q (want a non-negative integer)", v)
+		}
+	}
+	if v := q.Get("seed"); v != "" {
+		if req.cfg.Seed, err = strconv.ParseUint(v, 10, 64); err != nil {
+			return nil, fmt.Errorf("bad seed %q (want an unsigned integer)", v)
+		}
+	}
+	if v := q.Get("maxsquare"); v != "" {
+		if req.cfg.MaxSquare, err = strconv.Atoi(v); err != nil || req.cfg.MaxSquare < -1 {
+			return nil, fmt.Errorf("bad maxsquare %q (want -1 for unbounded, 0 for the N/8 default, or a positive cap)", v)
+		}
+	}
+	switch v := q.Get("format"); v {
+	case "", "json":
+		req.format = "json"
+	case "pgm":
+		req.format = "pgm"
+	default:
+		return nil, fmt.Errorf("bad format %q (want json or pgm)", v)
+	}
+	req.labels = q.Get("labels") == "1"
+
+	if name := q.Get("image"); name != "" {
+		id, err := regiongrow.ParsePaperImageID(name)
+		if err != nil {
+			return nil, err
+		}
+		req.im = regiongrow.GeneratePaperImage(id)
+		req.imageName = name
+		return req, nil
+	}
+	im, err := regiongrow.ReadPGM(r.Body)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return nil, fmt.Errorf("request body exceeds the %d-byte upload limit: %w", tooBig.Limit, err)
+		}
+		return nil, fmt.Errorf("reading PGM body: %w (upload a P2/P5 PGM or pass ?image=image1…image6)", err)
+	}
+	req.im = im
+	return req, nil
+}
+
+func (s *Server) handleSegment(w http.ResponseWriter, r *http.Request) {
+	s.metrics.requests.Add(1)
+	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	req, err := s.parseSegmentRequest(r)
+	if err != nil {
+		s.metrics.failed.Add(1)
+		status := http.StatusBadRequest
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+
+	imageHash := regiongrow.HashImage(req.im)
+	key := regiongrow.CacheKeyForHash(imageHash, req.im.W, req.im.H, req.cfg, req.kind)
+	seg, hit := s.cache.Get(key)
+	if !hit {
+		seg, err = s.pool.Submit(r.Context(), key, req.im, req.cfg, req.kind)
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			s.metrics.rejected.Add(1)
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "job queue full, retry later", http.StatusTooManyRequests)
+			return
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			// The client gave up; the job still completes on its worker
+			// and warms the cache via the pool callback. Nobody is
+			// listening for this response, and it is not a server failure.
+			s.metrics.canceled.Add(1)
+			return
+		case errors.Is(err, ErrClosed):
+			s.metrics.failed.Add(1)
+			http.Error(w, "server shutting down", http.StatusServiceUnavailable)
+			return
+		case err != nil:
+			s.metrics.failed.Add(1)
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+	}
+	s.metrics.served.Add(1)
+
+	cacheState := "miss"
+	if hit {
+		cacheState = "hit"
+	}
+	if req.format == "pgm" {
+		w.Header().Set("Content-Type", "image/x-portable-graymap")
+		w.Header().Set("X-Cache", cacheState)
+		w.Header().Set("X-Final-Regions", strconv.Itoa(seg.FinalRegions))
+		if err := regiongrow.WritePGM(w, regiongrow.Recolour(seg, req.im)); err != nil {
+			// Headers are gone; nothing left to do but drop the conn.
+			return
+		}
+		return
+	}
+
+	resp := segmentResponse{
+		Engine: req.kind.String(),
+		Cache:  cacheState,
+		Image: imageMeta{
+			Name:   req.imageName,
+			Width:  req.im.W,
+			Height: req.im.H,
+			SHA256: imageHash,
+		},
+		Config: configMeta{
+			Threshold: req.cfg.Threshold,
+			Tie:       req.cfg.Tie.String(),
+			Seed:      req.cfg.Seed,
+			MaxSquare: req.cfg.MaxSquare,
+		},
+		Result: segmentResult{
+			FinalRegions:      seg.FinalRegions,
+			SplitIterations:   seg.SplitIterations,
+			MergeIterations:   seg.MergeIterations,
+			SquaresAfterSplit: seg.SquaresAfterSplit,
+			SplitWallMs:       seg.SplitWall.Seconds() * 1e3,
+			MergeWallMs:       seg.MergeWall.Seconds() * 1e3,
+			SplitSimSecs:      seg.SplitSim,
+			MergeSimSecs:      seg.MergeSim,
+			Regions:           regiongrow.ComputeRegionStats(seg, req.im),
+		},
+	}
+	if req.labels {
+		resp.Result.Labels = seg.Labels
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(resp)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(s.Stats())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}

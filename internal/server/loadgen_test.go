@@ -1,0 +1,122 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"testing"
+
+	"regiongrow"
+)
+
+// BenchmarkServeThroughput is the loadgen harness: it drives a live
+// httptest server with concurrent clients and reports jobs/sec at several
+// concurrency levels, for both the cache-miss path (every request a fresh
+// segmentation — unique random seeds) and the cache-hit path (every
+// request the same key).
+//
+//	go test -run '^$' -bench ServeThroughput -benchtime 2s ./internal/server
+func BenchmarkServeThroughput(b *testing.B) {
+	im := regiongrow.GeneratePaperImage(regiongrow.Image1NestedRects128)
+	var buf bytes.Buffer
+	if err := regiongrow.WritePGM(&buf, im); err != nil {
+		b.Fatal(err)
+	}
+	pgm := buf.Bytes()
+
+	for _, path := range []string{"miss", "hit"} {
+		for _, conc := range []int{1, 2, 4, 8} {
+			name := fmt.Sprintf("%s/conc-%d", path, conc)
+			b.Run(name, func(b *testing.B) {
+				opts := Options{Workers: runtime.GOMAXPROCS(0), QueueDepth: 4 * conc}
+				if path == "miss" {
+					opts.CacheEntries = -1
+				}
+				svc := New(opts)
+				ts := httptest.NewServer(svc)
+				defer func() {
+					ts.Close()
+					svc.Close()
+				}()
+				client := ts.Client()
+				client.Transport.(*http.Transport).MaxIdleConnsPerHost = conc
+
+				if path == "hit" { // warm the single cache entry
+					if err := fire(client, ts.URL, "?seed=1", pgm); err != nil {
+						b.Fatal(err)
+					}
+				}
+
+				var seed int64
+				var mu sync.Mutex
+				nextQuery := func() string {
+					mu.Lock()
+					defer mu.Unlock()
+					if path == "hit" {
+						return "?seed=1"
+					}
+					seed++
+					return fmt.Sprintf("?seed=%d", seed)
+				}
+
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				jobs := make(chan string)
+				errs := make(chan error, conc)
+				for w := 0; w < conc; w++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						// Keep draining after a failure so the producer's
+						// unbuffered send never deadlocks; only the first
+						// error is reported.
+						failed := false
+						for q := range jobs {
+							if failed {
+								continue
+							}
+							if err := fire(client, ts.URL, q, pgm); err != nil {
+								errs <- err
+								failed = true
+							}
+						}
+					}()
+				}
+				for i := 0; i < b.N; i++ {
+					jobs <- nextQuery()
+				}
+				close(jobs)
+				wg.Wait()
+				b.StopTimer()
+				select {
+				case err := <-errs:
+					b.Fatal(err)
+				default:
+				}
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+			})
+		}
+	}
+}
+
+// fire posts one segmentation request and fails on any non-200 answer.
+// 429s count as failures here: the loadgen sizes the queue to the client
+// count, so rejections mean the harness is misconfigured, not the server.
+func fire(client *http.Client, base, query string, pgm []byte) error {
+	resp, err := client.Post(base+"/v1/segment"+query, "image/x-portable-graymap", bytes.NewReader(pgm))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("loadgen: status %d", resp.StatusCode)
+	}
+	return nil
+}

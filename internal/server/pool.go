@@ -1,0 +1,170 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"regiongrow"
+)
+
+// Submission errors.
+var (
+	// ErrQueueFull is returned by Submit when the bounded job queue has no
+	// free slot; HTTP handlers translate it to 429 Too Many Requests.
+	ErrQueueFull = errors.New("server: job queue full")
+	// ErrClosed is returned by Submit after Close.
+	ErrClosed = errors.New("server: pool closed")
+)
+
+// SegmentFunc segments one image. The zero value of Options selects the
+// real engines; tests substitute stubs to control timing.
+type SegmentFunc func(im *regiongrow.Image, cfg regiongrow.Config, kind regiongrow.EngineKind) (*regiongrow.Segmentation, error)
+
+func defaultSegment(im *regiongrow.Image, cfg regiongrow.Config, kind regiongrow.EngineKind) (*regiongrow.Segmentation, error) {
+	eng, err := regiongrow.NewEngine(kind)
+	if err != nil {
+		return nil, err
+	}
+	return eng.Segment(im, cfg)
+}
+
+type job struct {
+	key  string
+	im   *regiongrow.Image
+	cfg  regiongrow.Config
+	kind regiongrow.EngineKind
+	done chan jobResult
+}
+
+type jobResult struct {
+	seg *regiongrow.Segmentation
+	err error
+}
+
+// Result describes one completed job, delivered to the pool's onResult
+// callback on the worker goroutine — even when the submitter has already
+// abandoned the wait, which is what lets the Server cache work a client
+// gave up on.
+type Result struct {
+	Key     string
+	Kind    regiongrow.EngineKind
+	Seg     *regiongrow.Segmentation
+	Err     error
+	Elapsed time.Duration
+}
+
+// Pool is a bounded persistent worker pool: a fixed number of goroutines
+// drain a fixed-depth job queue. Submission is non-blocking — a full queue
+// rejects immediately with ErrQueueFull, which is the service's
+// backpressure signal — and Close drains every job already accepted before
+// returning, which is what makes graceful shutdown lossless.
+type Pool struct {
+	jobs     chan *job
+	segment  SegmentFunc
+	onResult func(Result)
+	workers  int
+	wg       sync.WaitGroup
+	mu       sync.RWMutex
+	closed   bool
+	inflight atomic.Int64
+}
+
+// NewPool starts workers goroutines over a queue of the given depth.
+// Non-positive workers or depth panic: the Server constructor is
+// responsible for defaulting them. onResult, if non-nil, runs on the
+// worker goroutine for every completed job, before the submitter is
+// woken.
+func NewPool(workers, depth int, fn SegmentFunc, onResult func(Result)) *Pool {
+	if workers <= 0 || depth <= 0 {
+		panic("server: NewPool needs positive workers and depth")
+	}
+	if fn == nil {
+		fn = defaultSegment
+	}
+	p := &Pool{
+		jobs:     make(chan *job, depth),
+		segment:  fn,
+		onResult: onResult,
+		workers:  workers,
+	}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for j := range p.jobs {
+		p.inflight.Add(1)
+		start := time.Now()
+		seg, err := p.segment(j.im, j.cfg, j.kind)
+		elapsed := time.Since(start)
+		p.inflight.Add(-1)
+		if p.onResult != nil {
+			p.onResult(Result{Key: j.key, Kind: j.kind, Seg: seg, Err: err, Elapsed: elapsed})
+		}
+		j.done <- jobResult{seg: seg, err: err}
+	}
+}
+
+// Submit enqueues one segmentation and waits for its result. key is an
+// opaque tag handed back through the onResult callback. Submit returns
+// ErrQueueFull without blocking when the queue is saturated, ErrClosed
+// after Close, and ctx.Err() if the caller gives up first (the job itself
+// still runs to completion on its worker — and still reaches onResult —
+// only the wait is abandoned).
+func (p *Pool) Submit(ctx context.Context, key string, im *regiongrow.Image, cfg regiongrow.Config, kind regiongrow.EngineKind) (*regiongrow.Segmentation, error) {
+	j := &job{key: key, im: im, cfg: cfg, kind: kind, done: make(chan jobResult, 1)}
+
+	p.mu.RLock()
+	if p.closed {
+		p.mu.RUnlock()
+		return nil, ErrClosed
+	}
+	select {
+	case p.jobs <- j:
+		p.mu.RUnlock()
+	default:
+		p.mu.RUnlock()
+		return nil, ErrQueueFull
+	}
+
+	select {
+	case r := <-j.done:
+		return r.seg, r.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// QueueDepth reports the number of jobs waiting for a worker.
+func (p *Pool) QueueDepth() int { return len(p.jobs) }
+
+// QueueCapacity reports the configured queue depth.
+func (p *Pool) QueueCapacity() int { return cap(p.jobs) }
+
+// InFlight reports the number of jobs currently executing on workers.
+func (p *Pool) InFlight() int64 { return p.inflight.Load() }
+
+// Workers reports the worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// Close stops accepting work, lets the workers drain every already-queued
+// job, and returns when the last one has finished. Safe to call more than
+// once.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	close(p.jobs)
+	p.mu.Unlock()
+	p.wg.Wait()
+}

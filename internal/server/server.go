@@ -1,0 +1,100 @@
+package server
+
+import (
+	"net/http"
+	"runtime"
+
+	"regiongrow"
+)
+
+// Options configure a Server. The zero value is serviceable: GOMAXPROCS
+// workers, a 64-deep queue, a 256-entry cache, 16 MiB uploads, real
+// engines.
+type Options struct {
+	// Workers is the worker-pool size; <=0 selects GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the number of accepted-but-unstarted jobs; <=0
+	// selects 64. When the queue is full, /v1/segment returns 429.
+	QueueDepth int
+	// CacheEntries bounds the LRU result cache; 0 selects 256, negative
+	// disables caching.
+	CacheEntries int
+	// MaxBodyBytes bounds PGM uploads; <=0 selects 16 MiB.
+	MaxBodyBytes int64
+	// Segment replaces the real engines; nil selects them. Tests use it
+	// to control job timing.
+	Segment SegmentFunc
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	if o.CacheEntries == 0 {
+		o.CacheEntries = 256
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 16 << 20
+	}
+	return o
+}
+
+// Server is the segmentation service. Construct with New, mount via
+// Handler (or use it directly as an http.Handler), and Close it after the
+// enclosing http.Server has shut down to drain in-flight jobs.
+type Server struct {
+	opts    Options
+	pool    *Pool
+	cache   *resultCache
+	metrics *metrics
+	mux     *http.ServeMux
+}
+
+// New builds a Server and starts its worker pool.
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		opts:    opts,
+		cache:   newResultCache(opts.CacheEntries),
+		metrics: newMetrics(),
+		mux:     http.NewServeMux(),
+	}
+	// Results are cached and observed from the worker, not the handler, so
+	// a job whose client disconnected mid-queue still warms the cache.
+	s.pool = NewPool(opts.Workers, opts.QueueDepth, opts.Segment, func(r Result) {
+		if r.Err == nil {
+			s.metrics.observe(r.Kind, r.Elapsed)
+			s.cache.Put(r.Key, r.Seg)
+		}
+	})
+	s.mux.HandleFunc("POST /v1/segment", s.handleSegment)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+// Handler returns the service's routing handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Close stops the worker pool after draining accepted jobs. Call it after
+// http.Server.Shutdown has returned so no handler is still submitting.
+func (s *Server) Close() { s.pool.Close() }
+
+// Stats returns a point-in-time snapshot of the service counters — the
+// same document /v1/stats serves.
+func (s *Server) Stats() Stats { return s.metrics.snapshot(s.pool, s.cache) }
+
+// ServingEngineKinds lists the engines worth putting behind the server:
+// every kind works, but the simulated CM kinds exist to report machine
+// cost-model times, not to serve throughput.
+func ServingEngineKinds() []regiongrow.EngineKind {
+	return []regiongrow.EngineKind{regiongrow.SequentialEngine, regiongrow.NativeParallel}
+}

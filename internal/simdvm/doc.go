@@ -1,0 +1,21 @@
+// Package simdvm is a data-parallel virtual machine in the style of the
+// Connection Machine's CM Fortran execution model. It provides 2-D and 1-D
+// parallel arrays (Grid/BoolGrid, Vec/BoolVec) with elementwise arithmetic,
+// end-off grid shifts (NEWS communication), general router gather/scatter
+// with combining, reductions, scans, segmented scans, sorting, and stream
+// compaction — the primitive vocabulary the paper's data-parallel
+// implementation is written in.
+//
+// Two things happen on every operation:
+//
+//  1. The operation really executes, tiled across goroutines (this host has
+//     no SIMD array hardware, so virtual processors are emulated by manual
+//     loop tiling — see Machine.parFor).
+//  2. The operation is charged to a simulated clock under a machine.Profile,
+//     so an algorithm built on the VM yields both a real wall-clock time and
+//     a simulated Connection Machine time.
+//
+// Machines and their arrays are not safe for concurrent use: the front-end
+// model is a single control thread issuing parallel operations, exactly as
+// on the CM.
+package simdvm

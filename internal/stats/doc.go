@@ -1,0 +1,11 @@
+// Package stats renders experiment results in the layout of the paper's
+// tables and bar chart, and embeds the paper's published numbers so the
+// benchmark harness can print paper-vs-measured comparisons.
+//
+// An Experiment is one image's rows across the five machine
+// configurations; RenderTable prints it in the paper's per-image table
+// layout, BarChart prints the Figure 3 merge-time comparison, and
+// Orderings checks the paper's qualitative claims (Async < LP < CM Fortran
+// on the CM-5; CM2-16K < CM2-8K < CM5 CM Fortran on the merge stage),
+// returning any violations as human-readable strings.
+package stats

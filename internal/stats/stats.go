@@ -1,6 +1,3 @@
-// Package stats renders experiment results in the layout of the paper's
-// tables and bar chart, and embeds the paper's published numbers so the
-// benchmark harness can print paper-vs-measured comparisons.
 package stats
 
 import (

@@ -1,12 +1,3 @@
-// Package unionfind provides a disjoint-set forest and a sequential
-// connected-component labelling (CCL) baseline.
-//
-// The paper positions split-and-merge region growing against image
-// component labelling (its reference [1]); the CCL baseline here labels
-// maximal 4-connected components of pixels whose pairwise-adjacent
-// intensity difference stays within the threshold. Unlike the region
-// criterion, CCL chains local similarity, so it can leak across smooth
-// gradients — the benchmark harness uses it as the classical comparator.
 package unionfind
 
 import "regiongrow/internal/pixmap"

@@ -30,14 +30,19 @@
 package regiongrow
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"fmt"
 	"io"
+	"strings"
 
 	"regiongrow/internal/core"
 	"regiongrow/internal/dpengine"
 	"regiongrow/internal/machine"
 	"regiongrow/internal/mpengine"
 	"regiongrow/internal/pixmap"
+	"regiongrow/internal/quadsplit"
 	"regiongrow/internal/rag"
 	"regiongrow/internal/regstats"
 	"regiongrow/internal/shmengine"
@@ -54,6 +59,12 @@ func LoadPGM(path string) (*Image, error) { return pixmap.LoadPGM(path) }
 
 // SavePGM writes a binary PGM file.
 func SavePGM(path string, im *Image) error { return pixmap.SavePGM(path, im) }
+
+// ReadPGM decodes a PGM (P2 or P5) stream.
+func ReadPGM(r io.Reader) (*Image, error) { return pixmap.ReadPGM(r) }
+
+// WritePGM encodes the image as binary PGM (P5).
+func WritePGM(w io.Writer, im *Image) error { return pixmap.WritePGM(w, im) }
 
 // PaperImageID selects one of the paper's six evaluation images.
 type PaperImageID = pixmap.PaperImageID
@@ -136,16 +147,34 @@ func (k EngineKind) String() string {
 	}
 }
 
-// ParseEngineKind resolves the names printed by String.
+// ParseEngineKind resolves the names printed by String. Matching is
+// case-insensitive.
 func ParseEngineKind(s string) (EngineKind, error) {
 	for _, k := range []EngineKind{SequentialEngine, CM2DataParallel8K,
 		CM2DataParallel16K, CM5DataParallel, CM5LinearPermutation, CM5Async,
 		NativeParallel} {
-		if k.String() == s {
+		if strings.EqualFold(k.String(), s) {
 			return k, nil
 		}
 	}
 	return 0, fmt.Errorf("regiongrow: unknown engine %q (want sequential, cm2-8k, cm2-16k, cm5-cmf, cm5-lp, cm5-async, or native)", s)
+}
+
+// ParseTiePolicy resolves the names printed by TiePolicy.String
+// ("smallest-id", "largest-id", "random"). Matching is case-insensitive.
+func ParseTiePolicy(s string) (TiePolicy, error) {
+	for _, p := range []TiePolicy{SmallestIDTie, LargestIDTie, RandomTie} {
+		if strings.EqualFold(p.String(), s) {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("regiongrow: unknown tie policy %q (want random, smallest-id, or largest-id)", s)
+}
+
+// ParsePaperImageID resolves a paper image by short name: "image1" through
+// "image6" (or just "1" through "6"), case-insensitive.
+func ParsePaperImageID(s string) (PaperImageID, error) {
+	return pixmap.ParsePaperImageID(s)
 }
 
 // MachineConfig returns the simulated machine configuration of an engine
@@ -257,4 +286,52 @@ func Recolour(seg *Segmentation, im *Image) *Image {
 // no remaining mergeable adjacent pair.
 func Validate(seg *Segmentation, im *Image, cfg Config) error {
 	return core.Validate(seg, im, cfg.Criterion())
+}
+
+// CanonicalizeConfig normalizes cfg so that semantically equivalent
+// configurations compare equal: the Seed is zeroed under the deterministic
+// tie policies (it only drives Random draws, so it cannot affect SmallestID
+// or LargestID output). Two canonicalized configs that compare equal are
+// guaranteed to produce byte-identical Labels on the same image with the
+// same engine — the invariant that makes result caching sound.
+func CanonicalizeConfig(cfg Config) Config {
+	if cfg.Tie != RandomTie {
+		cfg.Seed = 0
+	}
+	return cfg
+}
+
+// HashImage returns a stable hex SHA-256 digest of an image's dimensions
+// and pixel content.
+func HashImage(im *Image) string {
+	h := sha256.New()
+	var dims [16]byte
+	binary.LittleEndian.PutUint64(dims[0:8], uint64(im.W))
+	binary.LittleEndian.PutUint64(dims[8:16], uint64(im.H))
+	h.Write(dims[:])
+	h.Write(im.Pix)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// CacheKey derives a stable key for the result of segmenting im under cfg
+// with the given engine kind. Equal keys guarantee byte-identical
+// segmentations because every engine is deterministic: the key folds in
+// the image content hash, the canonicalized config (Seed zeroed for
+// deterministic ties, MaxSquare resolved to the effective power-of-two cap
+// for this image via the shared quadsplit rule, so e.g. 0 and N/8 collide
+// as they should), and the engine kind (all kinds produce identical Labels,
+// but their reported timings differ, so responses are cached per kind).
+func CacheKey(im *Image, cfg Config, kind EngineKind) string {
+	return CacheKeyForHash(HashImage(im), im.W, im.H, cfg, kind)
+}
+
+// CacheKeyForHash is CacheKey for callers that already hold the image's
+// content hash (as served by HashImage) — it saves re-hashing the pixels
+// when the hash is also needed elsewhere, e.g. in a response body. The
+// image dimensions resolve MaxSquare to its effective cap.
+func CacheKeyForHash(imageHash string, w, h int, cfg Config, kind EngineKind) string {
+	cfg = CanonicalizeConfig(cfg)
+	eff := quadsplit.EffectiveCap(quadsplit.Options{MaxSquare: cfg.MaxSquare}, w, h)
+	return fmt.Sprintf("%s|t=%d|tie=%s|seed=%d|sq=%d|eng=%s",
+		imageHash, cfg.Threshold, cfg.Tie, cfg.Seed, eff, kind)
 }

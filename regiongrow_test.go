@@ -22,7 +22,15 @@ func TestEngineKindRoundTrip(t *testing.T) {
 			t.Errorf("round trip %v: %v, %v", k, parsed, err)
 		}
 	}
-	for _, bad := range []string{"bogus", "", "Native", "sequential "} {
+	// Matching is case-insensitive but not whitespace-forgiving.
+	for name, want := range map[string]EngineKind{"Native": NativeParallel,
+		"SEQUENTIAL": SequentialEngine, "Cm5-Async": CM5Async} {
+		parsed, err := ParseEngineKind(name)
+		if err != nil || parsed != want {
+			t.Errorf("ParseEngineKind(%q) = %v, %v; want %v", name, parsed, err, want)
+		}
+	}
+	for _, bad := range []string{"bogus", "", "sequential "} {
 		_, err := ParseEngineKind(bad)
 		if err == nil {
 			t.Fatalf("parsed %q", bad)
@@ -30,6 +38,95 @@ func TestEngineKindRoundTrip(t *testing.T) {
 		if !strings.Contains(err.Error(), "unknown engine") || !strings.Contains(err.Error(), "native") {
 			t.Errorf("ParseEngineKind(%q) error not descriptive: %v", bad, err)
 		}
+	}
+}
+
+// TestParseTiePolicy: tie policy names round-trip case-insensitively and
+// unknown names are rejected with the valid choices in the error text.
+func TestParseTiePolicy(t *testing.T) {
+	for _, p := range []TiePolicy{SmallestIDTie, LargestIDTie, RandomTie} {
+		parsed, err := ParseTiePolicy(p.String())
+		if err != nil || parsed != p {
+			t.Errorf("round trip %v: %v, %v", p, parsed, err)
+		}
+	}
+	if p, err := ParseTiePolicy("Smallest-ID"); err != nil || p != SmallestIDTie {
+		t.Errorf("ParseTiePolicy(Smallest-ID) = %v, %v", p, err)
+	}
+	_, err := ParseTiePolicy("coin-flip")
+	if err == nil || !strings.Contains(err.Error(), "smallest-id") {
+		t.Errorf("ParseTiePolicy(coin-flip) error not descriptive: %v", err)
+	}
+}
+
+// TestParsePaperImageID: every paper image resolves by short name and by
+// bare digit, case-insensitively; out-of-range names are rejected.
+func TestParsePaperImageID(t *testing.T) {
+	for i, id := range AllPaperImages() {
+		for _, name := range []string{
+			// e.g. "image3", "3", "IMAGE3"
+			"image" + string(rune('1'+i)), string(rune('1' + i)), "IMAGE" + string(rune('1'+i)),
+		} {
+			parsed, err := ParsePaperImageID(name)
+			if err != nil || parsed != id {
+				t.Errorf("ParsePaperImageID(%q) = %v, %v; want %v", name, parsed, err, id)
+			}
+		}
+	}
+	for _, bad := range []string{"image0", "image7", "img3", "", "3.5"} {
+		if _, err := ParsePaperImageID(bad); err == nil {
+			t.Errorf("parsed %q", bad)
+		}
+	}
+}
+
+// TestCanonicalizeConfigAndCacheKey: the cache key is exactly as
+// discriminating as the engines' determinism requires — seed inert under
+// deterministic ties, MaxSquare resolved to its effective cap, everything
+// else significant.
+func TestCanonicalizeConfigAndCacheKey(t *testing.T) {
+	im := GeneratePaperImage(Image1NestedRects128)
+	base := Config{Threshold: 10, Tie: RandomTie, Seed: 1}
+
+	if c := CanonicalizeConfig(Config{Tie: SmallestIDTie, Seed: 99}); c.Seed != 0 {
+		t.Errorf("smallest-id seed not zeroed: %+v", c)
+	}
+	if c := CanonicalizeConfig(base); c.Seed != 1 {
+		t.Errorf("random seed must survive canonicalization: %+v", c)
+	}
+
+	key := func(cfg Config, kind EngineKind) string { return CacheKey(im, cfg, kind) }
+	same := [][2]Config{
+		// Seed is inert under deterministic tie policies.
+		{{Threshold: 10, Tie: SmallestIDTie, Seed: 1}, {Threshold: 10, Tie: SmallestIDTie, Seed: 2}},
+		// 0 means N/8, which is 16 for a 128px image.
+		{{Threshold: 10, Tie: RandomTie, Seed: 1, MaxSquare: 0}, {Threshold: 10, Tie: RandomTie, Seed: 1, MaxSquare: 16}},
+	}
+	for _, pair := range same {
+		if key(pair[0], SequentialEngine) != key(pair[1], SequentialEngine) {
+			t.Errorf("configs %+v and %+v should share a cache key", pair[0], pair[1])
+		}
+	}
+	diff := []Config{
+		{Threshold: 11, Tie: RandomTie, Seed: 1},
+		{Threshold: 10, Tie: RandomTie, Seed: 2},
+		{Threshold: 10, Tie: SmallestIDTie, Seed: 1},
+		{Threshold: 10, Tie: RandomTie, Seed: 1, MaxSquare: 8},
+	}
+	for _, cfg := range diff {
+		if key(base, SequentialEngine) == key(cfg, SequentialEngine) {
+			t.Errorf("config %+v should not share the base cache key", cfg)
+		}
+	}
+	if key(base, SequentialEngine) == key(base, NativeParallel) {
+		t.Error("engine kinds should not share cache keys (their reported timings differ)")
+	}
+	im2 := GeneratePaperImage(Image2Rects128)
+	if CacheKey(im, base, SequentialEngine) == CacheKey(im2, base, SequentialEngine) {
+		t.Error("different images should not share cache keys")
+	}
+	if HashImage(im) == HashImage(im2) {
+		t.Error("different images should not share content hashes")
 	}
 }
 
