@@ -5,13 +5,18 @@
 //
 // Usage:
 //
-//	benchtab [-threshold T] [-seed S] [-tie P] [-native]
+//	benchtab [-threshold T] [-seed S] [-tie P] [-native] [-timeout D]
 //
 // With -native, each table carries a sixth row for the native
-// shared-memory engine (host wall times; it simulates no machine).
+// shared-memory engine (host wall times; it simulates no machine). With
+// -timeout, the whole evaluation runs under a deadline: exceeding it
+// cancels the in-flight engine run (within one split/merge iteration) and
+// exits non-zero.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -27,6 +32,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "random tie seed")
 	tieName := flag.String("tie", "random", "tie policy: random, smallest-id, largest-id")
 	native := flag.Bool("native", false, "append a native shared-memory engine row to each table")
+	timeout := flag.Duration("timeout", 0, "abort the whole evaluation after this duration (0 = no limit)")
 	flag.Parse()
 
 	tie, err := regiongrow.ParseTiePolicy(*tieName)
@@ -35,13 +41,22 @@ func main() {
 	}
 	cfg := regiongrow.Config{Threshold: *threshold, Tie: tie, Seed: *seed}
 
-	run := regiongrow.RunExperiment
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	run := regiongrow.RunExperimentContext
 	if *native {
-		run = regiongrow.RunExperimentWithNative
+		run = regiongrow.RunExperimentWithNativeContext
 	}
 	var exps []regiongrow.Experiment
 	for i, id := range regiongrow.AllPaperImages() {
-		exp, err := run(id, cfg)
+		exp, err := run(ctx, id, cfg)
+		if errors.Is(err, context.DeadlineExceeded) {
+			log.Fatalf("timed out after %v with %d of 6 tables done — raise -timeout", *timeout, i)
+		}
 		if err != nil {
 			log.Fatal(err)
 		}

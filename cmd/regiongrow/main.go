@@ -5,24 +5,62 @@
 // Usage:
 //
 //	regiongrow [-engine E] [-threshold T] [-tie P] [-seed S]
-//	           [-maxsquare M] [-o out.pgm] [-dot out.dot] [-json out.json]
-//	           input.pgm
+//	           [-maxsquare M] [-timeout D] [-o out.pgm] [-dot out.dot]
+//	           [-json out.json] input.pgm
 //
 // Engines: sequential (default), cm2-8k, cm2-16k, cm5-cmf, cm5-lp,
 // cm5-async, native. The CM engines additionally report simulated machine
 // times; native runs the algorithm on host goroutines (GOMAXPROCS
-// workers).
+// workers). With -timeout, a run exceeding the duration is cancelled
+// (within one split/merge iteration) and the command exits non-zero
+// naming the stage it reached.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"sort"
+	"sync/atomic"
 
 	"regiongrow"
 )
+
+// stageTracker remembers the latest stage event so a timeout message can
+// say how far the run got.
+type stageTracker struct {
+	stage atomic.Value // string
+	iter  atomic.Int64
+}
+
+func (t *stageTracker) Observe(ev regiongrow.StageEvent) {
+	switch ev.Kind {
+	case regiongrow.EventSplitStart:
+		t.stage.Store("split")
+	case regiongrow.EventSplitDone:
+		t.stage.Store("graph build")
+	case regiongrow.EventGraphDone:
+		t.stage.Store("merge")
+	case regiongrow.EventMergeIteration:
+		t.iter.Store(int64(ev.Iteration))
+	}
+}
+
+func (t *stageTracker) String() string {
+	s, _ := t.stage.Load().(string)
+	if s == "" {
+		s = "startup"
+	}
+	if s == "merge" {
+		if k := t.iter.Load(); k > 0 {
+			return fmt.Sprintf("merge iteration %d", k)
+		}
+	}
+	return s
+}
 
 func main() {
 	log.SetFlags(0)
@@ -33,14 +71,15 @@ func main() {
 	tieName := flag.String("tie", "random", "tie policy: random, smallest-id, largest-id")
 	seed := flag.Uint64("seed", 1, "random tie seed")
 	maxSquare := flag.Int("maxsquare", 0, "split square cap (0 = N/8 as in the paper, -1 = unbounded)")
+	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 	out := flag.String("o", "", "write recoloured segmentation to this PGM path")
 	dotPath := flag.String("dot", "", "write the final region adjacency graph as Graphviz DOT")
 	jsonPath := flag.String("json", "", "write per-region statistics as JSON")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: regiongrow [-engine E] [-threshold T] [-tie P] [-seed S]")
-		fmt.Fprintln(os.Stderr, "                  [-maxsquare M] [-o out.pgm] [-dot out.dot] [-json out.json]")
-		fmt.Fprintln(os.Stderr, "                  input.pgm")
+		fmt.Fprintln(os.Stderr, "                  [-maxsquare M] [-timeout D] [-o out.pgm] [-dot out.dot]")
+		fmt.Fprintln(os.Stderr, "                  [-json out.json] input.pgm")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -58,12 +97,22 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	eng, err := regiongrow.NewEngine(kind)
+	tracker := &stageTracker{}
+	seg2, err := regiongrow.New(kind, regiongrow.WithObserver(tracker))
 	if err != nil {
 		log.Fatal(err)
 	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	cfg := regiongrow.Config{Threshold: *threshold, Tie: tie, Seed: *seed, MaxSquare: *maxSquare}
-	seg, err := eng.Segment(im, cfg)
+	seg, err := seg2.Segment(ctx, im, cfg)
+	if errors.Is(err, context.DeadlineExceeded) {
+		log.Fatalf("timed out after %v during %s — raise -timeout or pick a faster engine", *timeout, tracker)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -71,7 +120,7 @@ func main() {
 		log.Fatalf("internal error: invalid segmentation: %v", err)
 	}
 
-	fmt.Printf("engine: %s   image: %dx%d   T=%d   tie=%v\n", eng.Name(), im.W, im.H, *threshold, tie)
+	fmt.Printf("engine: %s   image: %dx%d   T=%d   tie=%v\n", seg2.Engine().Name(), im.W, im.H, *threshold, tie)
 	fmt.Printf("split: %d iterations, %d square regions (%.1f ms wall)\n",
 		seg.SplitIterations, seg.SquaresAfterSplit, seg.SplitWall.Seconds()*1e3)
 	fmt.Printf("merge: %d iterations, %d final regions (%.1f ms wall)\n",

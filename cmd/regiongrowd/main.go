@@ -6,22 +6,27 @@
 // Usage:
 //
 //	regiongrowd [-addr :8080] [-workers N] [-queue D] [-cache E]
-//	            [-maxbody BYTES] [-drain TIMEOUT]
+//	            [-maxbody BYTES] [-drain TIMEOUT] [-timeout D] [-warm]
 //
 // Endpoints:
 //
 //	POST /v1/segment?engine=E&threshold=T&tie=P&seed=S&maxsquare=M
 //	                &image=NAME&format=json|pgm&labels=1
-//	GET  /v1/stats     queue depth, in-flight jobs, cache hit/miss
-//	                   counters, per-engine latency histograms
+//	GET  /v1/stats     queue depth, in-flight jobs, cache hit/miss and
+//	                   cancellation counters, per-stage progress gauges,
+//	                   per-engine latency histograms
 //	GET  /healthz      liveness
 //
 // The body of POST /v1/segment is a P2/P5 PGM; with ?image=image1…image6
 // the body is ignored and the named paper image is segmented instead. When
 // the job queue is full the server answers 429 rather than queueing
-// unboundedly. On SIGINT/SIGTERM it stops accepting connections, drains
-// in-flight requests (up to -drain), then drains the worker pool and
-// exits.
+// unboundedly. With -timeout, a request whose compute exceeds the deadline
+// is answered 504 naming the stage it reached, and the compute is
+// cancelled within one split/merge iteration — as it also is when the
+// client disconnects, unless -warm keeps abandoned jobs running to warm
+// the result cache. On SIGINT/SIGTERM the server stops accepting
+// connections, drains in-flight requests (up to -drain), then drains the
+// worker pool and exits.
 package main
 
 import (
@@ -48,17 +53,21 @@ func main() {
 	cache := flag.Int("cache", 256, "LRU result cache entries (negative disables)")
 	maxBody := flag.Int64("maxbody", 16<<20, "maximum PGM upload size in bytes")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
+	timeout := flag.Duration("timeout", 0, "per-request compute deadline; exceeding it answers 504 with the stage reached (0 = no limit)")
+	warm := flag.Bool("warm", false, "keep computing abandoned jobs (disconnect or deadline) so results still warm the cache")
 	flag.Parse()
 	if flag.NArg() != 0 {
-		fmt.Fprintln(os.Stderr, "usage: regiongrowd [-addr :8080] [-workers N] [-queue D] [-cache E] [-maxbody BYTES] [-drain TIMEOUT]")
+		fmt.Fprintln(os.Stderr, "usage: regiongrowd [-addr :8080] [-workers N] [-queue D] [-cache E] [-maxbody BYTES] [-drain TIMEOUT] [-timeout D] [-warm]")
 		os.Exit(2)
 	}
 
 	svc := server.New(server.Options{
-		Workers:      *workers,
-		QueueDepth:   *queue,
-		CacheEntries: *cache,
-		MaxBodyBytes: *maxBody,
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheEntries:   *cache,
+		MaxBodyBytes:   *maxBody,
+		RequestTimeout: *timeout,
+		WarmAbandoned:  *warm,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,

@@ -1,11 +1,84 @@
 package regiongrow_test
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 
 	"regiongrow"
 )
+
+// The redesigned flow: construct a reusable Segmenter session, then run
+// it with a context. The session pools its scratch buffers, so calling it
+// repeatedly on same-size images is the efficient serving pattern.
+func ExampleSegmenter() {
+	s, err := regiongrow.New(regiongrow.NativeParallel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	im := regiongrow.GeneratePaperImage(regiongrow.Image3Circles128)
+	seg, err := s.Segment(context.Background(), im, regiongrow.Config{
+		Threshold: 10,
+		Tie:       regiongrow.RandomTie,
+		Seed:      1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("final regions:", seg.FinalRegions)
+	// Output:
+	// final regions: 11
+}
+
+// Cancellation is cooperative and prompt: every engine checks the context
+// at split-pass and merge-round boundaries. Here an observer cancels the
+// run as soon as the split stage finishes, so the merge never starts and
+// the call returns ctx.Err().
+func ExampleSegmenter_cancellation() {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s, err := regiongrow.New(regiongrow.SequentialEngine,
+		regiongrow.WithObserver(regiongrow.ObserverFunc(func(ev regiongrow.StageEvent) {
+			if ev.Kind == regiongrow.EventSplitDone {
+				cancel()
+			}
+		})))
+	if err != nil {
+		log.Fatal(err)
+	}
+	im := regiongrow.GeneratePaperImage(regiongrow.Image2Rects128)
+	_, err = s.Segment(ctx, im, regiongrow.Config{Threshold: 10, Tie: regiongrow.RandomTie, Seed: 1})
+	fmt.Println("cancelled:", errors.Is(err, context.Canceled))
+	// Output:
+	// cancelled: true
+}
+
+// Session options are defaults: a zero Config adopts them, and the
+// observer streams typed stage events.
+func ExampleSegmenter_observer() {
+	var iterations int
+	obs := regiongrow.ObserverFunc(func(ev regiongrow.StageEvent) {
+		if ev.Kind == regiongrow.EventMergeIteration {
+			iterations++
+		}
+	})
+	s, err := regiongrow.New(regiongrow.SequentialEngine,
+		regiongrow.WithThreshold(10),
+		regiongrow.WithTie(regiongrow.SmallestIDTie),
+		regiongrow.WithObserver(obs))
+	if err != nil {
+		log.Fatal(err)
+	}
+	im := regiongrow.GeneratePaperImage(regiongrow.Image1NestedRects128)
+	seg, err := s.Segment(context.Background(), im, regiongrow.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("observed == reported:", iterations == seg.MergeIterations)
+	// Output:
+	// observed == reported: true
+}
 
 // The basic flow: generate an evaluation image, segment it with the
 // sequential engine, inspect the result.

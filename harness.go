@@ -1,6 +1,7 @@
 package regiongrow
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -21,10 +22,18 @@ type Row = stats.Row
 // policy, reflecting the paper's observation that merge iteration counts
 // vary across implementations.
 func RunExperiment(id PaperImageID, cfg Config) (Experiment, error) {
+	return RunExperimentContext(context.Background(), id, cfg)
+}
+
+// RunExperimentContext is RunExperiment under a context: each of the five
+// engine runs goes through a Segmenter, so cancelling ctx (or exceeding a
+// deadline, as cmd/benchtab's -timeout does) aborts the in-flight run
+// within one iteration and returns ctx.Err().
+func RunExperimentContext(ctx context.Context, id PaperImageID, cfg Config) (Experiment, error) {
 	im := GeneratePaperImage(id)
 	exp := Experiment{Image: id}
 	for _, kind := range AllEngineKinds() {
-		eng, err := NewEngine(kind)
+		eng, err := New(kind)
 		if err != nil {
 			return exp, err
 		}
@@ -44,7 +53,7 @@ func RunExperiment(id PaperImageID, cfg Config) (Experiment, error) {
 			}
 			runCfg.Seed = cfg.Seed*1000003 + model
 		}
-		seg, err := eng.Segment(im, runCfg)
+		seg, err := eng.Segment(ctx, im, runCfg)
 		if err != nil {
 			return exp, fmt.Errorf("regiongrow: %v on %v: %w", kind, id, err)
 		}
@@ -74,8 +83,13 @@ func RunExperiment(id PaperImageID, cfg Config) (Experiment, error) {
 // native engine's segmentations must match the sequential engine's for
 // equal seeds, so there is no per-model seed derivation).
 func NativeRow(id PaperImageID, cfg Config) (Row, error) {
+	return NativeRowContext(context.Background(), id, cfg)
+}
+
+// NativeRowContext is NativeRow under a context.
+func NativeRowContext(ctx context.Context, id PaperImageID, cfg Config) (Row, error) {
 	im := GeneratePaperImage(id)
-	seg, err := SegmentNative(im, cfg)
+	seg, err := nativeSession.Segment(ctx, im, cfg)
 	if err != nil {
 		return Row{}, fmt.Errorf("regiongrow: native on %v: %w", id, err)
 	}
@@ -96,11 +110,17 @@ func NativeRow(id PaperImageID, cfg Config) (Row, error) {
 // tables keep their five-row shape by default; callers opt into the extra
 // row with this helper.
 func RunExperimentWithNative(id PaperImageID, cfg Config) (Experiment, error) {
-	exp, err := RunExperiment(id, cfg)
+	return RunExperimentWithNativeContext(context.Background(), id, cfg)
+}
+
+// RunExperimentWithNativeContext is RunExperimentWithNative under a
+// context.
+func RunExperimentWithNativeContext(ctx context.Context, id PaperImageID, cfg Config) (Experiment, error) {
+	exp, err := RunExperimentContext(ctx, id, cfg)
 	if err != nil {
 		return exp, err
 	}
-	row, err := NativeRow(id, cfg)
+	row, err := NativeRowContext(ctx, id, cfg)
 	if err != nil {
 		return exp, err
 	}
@@ -117,9 +137,16 @@ func DefaultConfig() Config {
 // RunAllExperiments runs the six experiments with the default
 // configuration.
 func RunAllExperiments() ([]Experiment, error) {
+	return RunAllExperimentsContext(context.Background())
+}
+
+// RunAllExperimentsContext runs the six experiments with the default
+// configuration under a context; cancellation aborts the in-flight run
+// and returns ctx.Err().
+func RunAllExperimentsContext(ctx context.Context) ([]Experiment, error) {
 	var out []Experiment
 	for _, id := range AllPaperImages() {
-		exp, err := RunExperiment(id, DefaultConfig())
+		exp, err := RunExperimentContext(ctx, id, DefaultConfig())
 		if err != nil {
 			return nil, err
 		}

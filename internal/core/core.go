@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -96,16 +97,43 @@ func (Sequential) Name() string { return "sequential" }
 
 // Segment implements Engine: sequential split, then the shared RAG merge
 // kernel, then relabeling.
-func (Sequential) Segment(im *pixmap.Image, cfg Config) (*Segmentation, error) {
+func (e Sequential) Segment(im *pixmap.Image, cfg Config) (*Segmentation, error) {
+	return e.SegmentContext(context.Background(), im, cfg, Run{})
+}
+
+// SegmentContext implements ContextEngine: the same pipeline as Segment
+// with cancellation checked at every split pass and merge round, stage
+// events on run.Observer, and split buffers drawn from run.Scratch.
+func (Sequential) SegmentContext(ctx context.Context, im *pixmap.Image, cfg Config, run Run) (*Segmentation, error) {
 	crit := cfg.Criterion()
 
+	run.Emit(StageEvent{Kind: EventSplitStart})
 	t0 := time.Now()
-	sp := quadsplit.Split(im, crit, quadsplit.Options{MaxSquare: cfg.MaxSquare})
+	sp, err := quadsplit.SplitCtx(ctx, im, crit,
+		quadsplit.Options{MaxSquare: cfg.MaxSquare, Scratch: run.SplitScratch()})
+	if err != nil {
+		return nil, err
+	}
 	splitWall := time.Since(t0)
+	run.Emit(StageEvent{Kind: EventSplitDone, Iterations: sp.Iterations, Squares: sp.NumSquares})
 
 	t1 := time.Now()
-	g := rag.BuildFromLabels(im, sp.Labels, crit)
-	stats, asg := g.MergeAll(cfg.Tie, cfg.Seed)
+	g, err := rag.BuildFromLabelsCtx(ctx, im, sp.Labels, crit)
+	if err != nil {
+		return nil, err
+	}
+	run.Emit(StageEvent{Kind: EventGraphDone, Squares: sp.NumSquares})
+	asg := rag.NewAssignments()
+	stats, err := rag.DriveCtx(ctx, cfg.Tie,
+		func() bool { return g.ActiveEdges() > 0 },
+		func(effective rag.TiePolicy, iter int) int {
+			merged := g.MergeIteration(effective, cfg.Seed, iter, asg)
+			run.Emit(StageEvent{Kind: EventMergeIteration, Iteration: iter, Merges: merged})
+			return merged
+		})
+	if err != nil {
+		return nil, err
+	}
 	labels := asg.Relabel(sp.Labels)
 	mergeWall := time.Since(t1)
 
@@ -121,6 +149,7 @@ func (Sequential) Segment(im *pixmap.Image, cfg Config) (*Segmentation, error) {
 		MergeWall:         mergeWall,
 	}
 	seg.FillRegions(im)
+	run.Emit(StageEvent{Kind: EventMergeDone, Iterations: stats.Iterations, Regions: seg.FinalRegions})
 	return seg, nil
 }
 
@@ -169,15 +198,34 @@ type SerialBaseline struct{}
 func (SerialBaseline) Name() string { return "serial-baseline" }
 
 // Segment implements Engine.
-func (SerialBaseline) Segment(im *pixmap.Image, cfg Config) (*Segmentation, error) {
+func (e SerialBaseline) Segment(im *pixmap.Image, cfg Config) (*Segmentation, error) {
+	return e.SegmentContext(context.Background(), im, cfg, Run{})
+}
+
+// SegmentContext implements ContextEngine for the baseline: cancellation
+// at every one-merge iteration, the same stage events as the real engines.
+func (SerialBaseline) SegmentContext(ctx context.Context, im *pixmap.Image, cfg Config, run Run) (*Segmentation, error) {
 	crit := cfg.Criterion()
+	run.Emit(StageEvent{Kind: EventSplitStart})
 	t0 := time.Now()
-	sp := quadsplit.Split(im, crit, quadsplit.Options{MaxSquare: cfg.MaxSquare})
+	sp, err := quadsplit.SplitCtx(ctx, im, crit,
+		quadsplit.Options{MaxSquare: cfg.MaxSquare, Scratch: run.SplitScratch()})
+	if err != nil {
+		return nil, err
+	}
 	splitWall := time.Since(t0)
+	run.Emit(StageEvent{Kind: EventSplitDone, Iterations: sp.Iterations, Squares: sp.NumSquares})
 
 	t1 := time.Now()
-	g := rag.BuildFromLabels(im, sp.Labels, crit)
-	stats, asg := g.MergeSerial()
+	g, err := rag.BuildFromLabelsCtx(ctx, im, sp.Labels, crit)
+	if err != nil {
+		return nil, err
+	}
+	run.Emit(StageEvent{Kind: EventGraphDone, Squares: sp.NumSquares})
+	stats, asg, err := g.MergeSerialCtx(ctx)
+	if err != nil {
+		return nil, err
+	}
 	labels := asg.Relabel(sp.Labels)
 	mergeWall := time.Since(t1)
 
@@ -192,8 +240,15 @@ func (SerialBaseline) Segment(im *pixmap.Image, cfg Config) (*Segmentation, erro
 		MergeWall:         mergeWall,
 	}
 	seg.FillRegions(im)
+	run.Emit(StageEvent{Kind: EventMergeDone, Iterations: stats.Iterations, Regions: seg.FinalRegions})
 	return seg, nil
 }
+
+// Compile-time contract: both reference engines are context-aware.
+var (
+	_ ContextEngine = Sequential{}
+	_ ContextEngine = SerialBaseline{}
+)
 
 // Validate checks the postconditions of a completed segmentation against
 // the source image:

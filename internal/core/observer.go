@@ -1,0 +1,131 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"regiongrow/internal/pixmap"
+	"regiongrow/internal/quadsplit"
+)
+
+// EventKind names one typed stage event of a segmentation run.
+type EventKind int
+
+const (
+	// EventSplitStart fires once, before the split stage's first pass.
+	EventSplitStart EventKind = iota
+	// EventSplitDone fires when the split stage completes; Iterations and
+	// Squares carry the stage totals.
+	EventSplitDone
+	// EventGraphDone fires when the region adjacency graph is built;
+	// Squares carries the vertex count (one vertex per split square).
+	EventGraphDone
+	// EventMergeIteration fires after every merge round; Iteration is the
+	// 1-based round number and Merges the region pairs merged in it.
+	EventMergeIteration
+	// EventMergeDone fires when the run completes; Iterations carries the
+	// merge round total and Regions the final region count.
+	EventMergeDone
+)
+
+// String returns a stable name for the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventSplitStart:
+		return "split-start"
+	case EventSplitDone:
+		return "split-done"
+	case EventGraphDone:
+		return "graph-done"
+	case EventMergeIteration:
+		return "merge-iteration"
+	case EventMergeDone:
+		return "merge-done"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// StageEvent is one progress event emitted by an engine during a run.
+// Fields beyond Kind are populated per kind; see the EventKind constants.
+type StageEvent struct {
+	Kind EventKind
+	// Iteration is the 1-based merge round (EventMergeIteration).
+	Iteration int
+	// Merges is the number of pairs merged in the round
+	// (EventMergeIteration).
+	Merges int
+	// Iterations is the completed stage's total pass/round count
+	// (EventSplitDone, EventMergeDone).
+	Iterations int
+	// Squares is the split-stage region count (EventSplitDone,
+	// EventGraphDone).
+	Squares int
+	// Regions is the final region count (EventMergeDone).
+	Regions int
+}
+
+// Observer receives stage events during a segmentation run. Engines call
+// Observe synchronously from the goroutine driving the run (for the
+// message-passing engine that is a simulated node goroutine, not the
+// caller's), so an Observer shared across concurrent runs must be safe for
+// concurrent use. Observe must not block: it runs on the compute path.
+//
+// Cancelling the run's context from inside Observe is the supported way to
+// abort on a progress condition; every engine notices within one
+// split/merge iteration.
+type Observer interface {
+	Observe(StageEvent)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(StageEvent)
+
+// Observe implements Observer.
+func (f ObserverFunc) Observe(ev StageEvent) { f(ev) }
+
+// Scratch holds reusable per-run buffers. A Scratch must serve at most one
+// run at a time; the Segmenter façade keeps a sync.Pool of them so
+// repeated runs on same-size images stop reallocating the split stage's
+// label and level arrays.
+type Scratch struct {
+	// Split is the split stage's buffer set, passed to quadsplit via
+	// Options.Scratch.
+	Split quadsplit.Scratch
+}
+
+// Run is the per-call runtime environment of a segmentation: progress goes
+// to Observer (nil = no events) and Scratch offers reusable buffers (nil =
+// allocate fresh). Cancellation travels separately, on the ctx argument of
+// SegmentContext. The zero Run is valid and makes SegmentContext behave
+// exactly like Segment.
+type Run struct {
+	Observer Observer
+	Scratch  *Scratch
+}
+
+// Emit delivers ev to the run's observer, if any.
+func (r Run) Emit(ev StageEvent) {
+	if r.Observer != nil {
+		r.Observer.Observe(ev)
+	}
+}
+
+// SplitScratch returns the run's split buffer set, or nil when the run has
+// no scratch — the value engines hand to quadsplit.Options.Scratch.
+func (r Run) SplitScratch() *quadsplit.Scratch {
+	if r.Scratch == nil {
+		return nil
+	}
+	return &r.Scratch.Split
+}
+
+// ContextEngine is the context-aware engine contract every execution model
+// implements: cancellation via ctx (checked at split-pass and merge-round
+// boundaries — cancelling mid-run returns ctx.Err() within one iteration),
+// progress and buffer reuse via run. SegmentContext with a background
+// context and a zero Run is equivalent to Segment, byte for byte.
+type ContextEngine interface {
+	Engine
+	SegmentContext(ctx context.Context, im *pixmap.Image, cfg Config, run Run) (*Segmentation, error)
+}

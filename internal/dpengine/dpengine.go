@@ -1,6 +1,7 @@
 package dpengine
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"time"
@@ -45,6 +46,16 @@ func (e *Engine) Config() machine.ConfigID { return e.cfg }
 
 // Segment implements core.Engine.
 func (e *Engine) Segment(im *pixmap.Image, cfg core.Config) (*core.Segmentation, error) {
+	return e.SegmentContext(context.Background(), im, cfg, core.Run{})
+}
+
+// SegmentContext implements core.ContextEngine: the simulated machine is
+// driven from the calling goroutine, so cancellation is a plain check at
+// every split level and merge round of the simulation loop.
+func (e *Engine) SegmentContext(ctx context.Context, im *pixmap.Image, cfg core.Config, run core.Run) (*core.Segmentation, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if im.W == 0 || im.H == 0 {
 		seg := &core.Segmentation{W: im.W, H: im.H, Labels: []int32{}}
 		seg.FillRegions(im)
@@ -53,16 +64,24 @@ func (e *Engine) Segment(im *pixmap.Image, cfg core.Config) (*core.Segmentation,
 	m := simdvm.New(e.prof)
 	seg := &core.Segmentation{W: im.W, H: im.H}
 
+	run.Emit(core.StageEvent{Kind: core.EventSplitStart})
 	t0 := time.Now()
-	sp := e.split(m, im, cfg)
+	sp, err := e.split(ctx, m, im, cfg)
+	if err != nil {
+		return nil, err
+	}
 	seg.SplitIterations = sp.iterations
 	seg.SquaresAfterSplit = sp.numSquares
 	seg.SplitWall = time.Since(t0)
 	seg.SplitSim = m.Clock()
+	run.Emit(core.StageEvent{Kind: core.EventSplitDone, Iterations: sp.iterations, Squares: sp.numSquares})
 
 	m.ResetClock()
 	t1 := time.Now()
-	labels, stats := e.merge(m, im, cfg, sp)
+	labels, stats, err := e.merge(ctx, m, im, cfg, sp, run)
+	if err != nil {
+		return nil, err
+	}
 	seg.Labels = labels
 	seg.MergeIterations = stats.Iterations
 	seg.MergesPerIter = stats.MergesPerIter
@@ -71,6 +90,7 @@ func (e *Engine) Segment(im *pixmap.Image, cfg core.Config) (*core.Segmentation,
 	seg.MergeSim = m.Clock()
 
 	seg.FillRegions(im)
+	run.Emit(core.StageEvent{Kind: core.EventMergeDone, Iterations: stats.Iterations, Regions: seg.FinalRegions})
 	return seg, nil
 }
 
@@ -82,7 +102,7 @@ type splitState struct {
 }
 
 // split is step 1: strided quad-block combining on 2-D grids.
-func (e *Engine) split(m *simdvm.Machine, im *pixmap.Image, cfg core.Config) *splitState {
+func (e *Engine) split(ctx context.Context, m *simdvm.Machine, im *pixmap.Image, cfg core.Config) (*splitState, error) {
 	w, h := im.W, im.H
 	t := int32(cfg.Threshold)
 
@@ -104,6 +124,9 @@ func (e *Engine) split(m *simdvm.Machine, im *pixmap.Image, cfg core.Config) *sp
 	st := &splitState{}
 	top := 0
 	for l := 1; l <= maxLevel; l++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		s := 1 << l
 		half := s / 2
 		// Combine child intervals: bring the east child to the west with a
@@ -150,12 +173,12 @@ func (e *Engine) split(m *simdvm.Machine, im *pixmap.Image, cfg core.Config) *sp
 	}
 	st.label = label
 	st.numSquares = label.Eq(m.SelfIndex(w, h)).Count()
-	return st
+	return st, nil
 }
 
 // merge is steps 2–5: graph construction and iterative mutual merging on
 // 1-D parallel arrays.
-func (e *Engine) merge(m *simdvm.Machine, im *pixmap.Image, cfg core.Config, sp *splitState) ([]int32, rag.MergeStats) {
+func (e *Engine) merge(ctx context.Context, m *simdvm.Machine, im *pixmap.Image, cfg core.Config, sp *splitState, run core.Run) ([]int32, rag.MergeStats, error) {
 	w, h := im.W, im.H
 	n := w * h
 	t := int32(cfg.Threshold)
@@ -189,6 +212,7 @@ func (e *Engine) merge(m *simdvm.Machine, im *pixmap.Image, cfg core.Config, sp 
 	src := m.Concat(ePair[0], sPair[0], ePair[1], sPair[1])
 	dst := m.Concat(ePair[1], sPair[1], ePair[0], sPair[0])
 	src, dst = sortDedupe(m, src, dst)
+	run.Emit(core.StageEvent{Kind: core.EventGraphDone, Squares: sp.numSquares})
 
 	// Representative array for the pixel domain (region IDs point at
 	// themselves until merged away).
@@ -198,6 +222,9 @@ func (e *Engine) merge(m *simdvm.Machine, im *pixmap.Image, cfg core.Config, sp 
 	var stats rag.MergeStats
 	stalls := 0
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, stats, err
+		}
 		if src.Len() == 0 {
 			break
 		}
@@ -262,6 +289,7 @@ func (e *Engine) merge(m *simdvm.Machine, im *pixmap.Image, cfg core.Config, sp 
 
 		merges := winner.Count()
 		stats.MergesPerIter = append(stats.MergesPerIter, merges)
+		run.Emit(core.StageEvent{Kind: core.EventMergeIteration, Iteration: stats.Iterations, Merges: merges})
 		if merges == 0 {
 			stalls++
 		} else {
@@ -280,8 +308,10 @@ func (e *Engine) merge(m *simdvm.Machine, im *pixmap.Image, cfg core.Config, sp 
 	final := rep.Gather(labelVec)
 	out := make([]int32, n)
 	copy(out, final.Data())
-	return out, stats
+	return out, stats, nil
 }
+
+var _ core.ContextEngine = (*Engine)(nil)
 
 // sortDedupe sorts the directed edge array by (src, dst) and removes
 // parallel duplicates, returning the compacted arrays.

@@ -1,6 +1,7 @@
 package mpengine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -14,6 +15,16 @@ import (
 	"regiongrow/internal/quadsplit"
 	"regiongrow/internal/rag"
 )
+
+// cancelCode is the sentinel contributed to a reduction by a node that has
+// observed context cancellation. Cancellation must be a collective
+// decision — a node returning unilaterally would leave its peers blocked
+// in a barrier — so nodes fold it into reductions they already perform
+// (AllReduceOr is AllReduceMax underneath, so the piggyback changes no
+// simulated times and no communication counters). The code dominates any
+// legitimate contribution: split iterations and the merge loop's 0/1
+// activity flag are both far below it.
+const cancelCode = 1 << 20
 
 // Engine is the message-passing engine bound to a configuration and
 // communication scheme.
@@ -84,6 +95,18 @@ func factor(q int) (p1, p2 int, err error) {
 
 // Segment implements core.Engine.
 func (e *Engine) Segment(im *pixmap.Image, cfg core.Config) (*core.Segmentation, error) {
+	return e.SegmentContext(context.Background(), im, cfg, core.Run{})
+}
+
+// SegmentContext implements core.ContextEngine. Every node folds its view
+// of ctx into the reductions that already punctuate the split handoff and
+// each merge round, so all nodes abort together (within one iteration) and
+// the simulated cluster always joins — no goroutine outlives the call.
+// Stage events are emitted by node 0 only, from its node goroutine.
+func (e *Engine) SegmentContext(ctx context.Context, im *pixmap.Image, cfg core.Config, run core.Run) (*core.Segmentation, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	p1, p2, err := factor(e.nodes)
 	if err != nil {
 		return nil, err
@@ -102,12 +125,21 @@ func (e *Engine) Segment(im *pixmap.Image, cfg core.Config) (*core.Segmentation,
 	var wallMu sync.Mutex
 	var splitWallMax time.Duration
 
+	run.Emit(core.StageEvent{Kind: core.EventSplitStart})
 	t0 := time.Now()
 	_, clusterStats, err := mpvm.Run(e.nodes, e.prof, func(n *mpvm.Node) error {
-		st := &nodeState{n: n, g: g, e: e, im: im, cfg: cfg, cap: cap, crit: cfg.Criterion()}
+		st := &nodeState{n: n, g: g, e: e, im: im, cfg: cfg, cap: cap, crit: cfg.Criterion(), ctx: ctx, run: run}
 		tSplit := time.Now()
 		st.splitLocal()
-		st.splitIters = n.AllReduceMax(st.localIters)
+		code := st.localIters
+		if ctx.Err() != nil {
+			code |= cancelCode
+		}
+		red := n.AllReduceMax(code)
+		if red >= cancelCode {
+			return ctxErr(ctx)
+		}
+		st.splitIters = red
 		st.numSquares = n.AllReduceSum(len(st.ownedIDs))
 		n.Barrier()
 		simSplit := n.Clock()
@@ -116,9 +148,17 @@ func (e *Engine) Segment(im *pixmap.Image, cfg core.Config) (*core.Segmentation,
 			splitWallMax = d
 		}
 		wallMu.Unlock()
+		if n.Rank == 0 {
+			run.Emit(core.StageEvent{Kind: core.EventSplitDone, Iterations: st.splitIters, Squares: st.numSquares})
+		}
 
 		st.buildGraph()
-		st.mergeLoop()
+		if n.Rank == 0 {
+			run.Emit(core.StageEvent{Kind: core.EventGraphDone, Squares: st.numSquares})
+		}
+		if err := st.mergeLoop(); err != nil {
+			return err
+		}
 		st.writeLabels(out)
 		n.Barrier()
 		results[n.Rank] = nodeResult{
@@ -161,8 +201,21 @@ func (e *Engine) Segment(im *pixmap.Image, cfg core.Config) (*core.Segmentation,
 		},
 	}
 	seg.FillRegions(im)
+	run.Emit(core.StageEvent{Kind: core.EventMergeDone, Iterations: seg.MergeIterations, Regions: seg.FinalRegions})
 	return seg, nil
 }
+
+// ctxErr returns ctx's error, falling back to context.Canceled for the
+// window where a peer observed cancellation first and this node's own
+// check has not caught up.
+func ctxErr(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return context.Canceled
+}
+
+var _ core.ContextEngine = (*Engine)(nil)
 
 type nodeResult struct {
 	simSplit, simTotal float64
@@ -182,6 +235,9 @@ type nodeState struct {
 	cfg  core.Config
 	cap  int
 	crit homog.Criterion
+
+	ctx context.Context
+	run core.Run
 
 	x0, y0     int
 	labels     []int32 // local tile labels (global region IDs), tw×th
@@ -346,8 +402,10 @@ func (st *nodeState) weight(a, b int32) int {
 	return homog.Weight(st.iv[a], st.iv[b])
 }
 
-// mergeLoop is steps 3–5.
-func (st *nodeState) mergeLoop() {
+// mergeLoop is steps 3–5. It returns the context's error when the run was
+// cancelled — a decision every node reaches together through the round's
+// head reduction — and nil when the merge ran to completion.
+func (st *nodeState) mergeLoop() error {
 	st.asg = rag.NewAssignments()
 	stalls := 0
 	for {
@@ -372,8 +430,21 @@ func (st *nodeState) mergeLoop() {
 			}
 		}
 		st.n.Charge(scanned * 4)
-		if !st.n.AllReduceOr(anyActive) {
-			break
+		// The head reduction doubles as the cancellation rendezvous: the
+		// activity flag (0/1) and the cancel sentinel share one
+		// AllReduceMax, which is exactly what AllReduceOr costs.
+		code := 0
+		if anyActive {
+			code = 1
+		}
+		if st.ctx.Err() != nil {
+			code = cancelCode
+		}
+		switch red := st.n.AllReduceMax(code); {
+		case red >= cancelCode:
+			return ctxErr(st.ctx)
+		case red == 0:
+			return nil
 		}
 		st.stats.Iterations++
 		// Per-iteration node-program overhead (see machine.Profile).
@@ -493,6 +564,9 @@ func (st *nodeState) mergeIteration(policy rag.TiePolicy) int {
 		}
 	}
 	st.n.Charge(merges * 8)
+	if st.n.Rank == 0 {
+		st.run.Emit(core.StageEvent{Kind: core.EventMergeIteration, Iteration: iter, Merges: merges})
+	}
 
 	// Step 4b: relabel owned adjacency through this iteration's map.
 	// Mutual pairs form a matching, so one relabeling level suffices.

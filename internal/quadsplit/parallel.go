@@ -8,6 +8,7 @@
 package quadsplit
 
 import (
+	"context"
 	"math/bits"
 	"sync"
 
@@ -20,14 +21,28 @@ import (
 // amortise per-tile overhead while still exposing enough parallelism.
 const minTile = 32
 
+// tileScratch pools the per-tile buffer sets of SplitParallel workers.
+// Tile results are consumed (copied into the global result) before the
+// scratch returns to the pool, so pooled reuse cannot alias a live result.
+var tileScratch = sync.Pool{New: func() any { return new(Scratch) }}
+
 // SplitParallel runs the split stage on `workers` goroutines by splitting
 // cap-aligned tiles independently and stitching the results. It produces a
 // Result identical to Split's for every image, criterion, and option set.
 // workers <= 1 (or an image spanned by a single tile) falls back to Split.
 func SplitParallel(im *pixmap.Image, crit homog.Criterion, opt Options, workers int) *Result {
+	res, _ := SplitParallelCtx(context.Background(), im, crit, opt, workers)
+	return res
+}
+
+// SplitParallelCtx is SplitParallel with cooperative cancellation: workers
+// check ctx at every tile boundary, stop picking up new tiles once it is
+// done, drain, and the call returns (nil, ctx.Err()). All worker
+// goroutines have exited by the time it returns, cancelled or not.
+func SplitParallelCtx(ctx context.Context, im *pixmap.Image, crit homog.Criterion, opt Options, workers int) (*Result, error) {
 	w, h := im.W, im.H
 	if w == 0 || h == 0 || workers <= 1 {
-		return Split(im, crit, opt)
+		return SplitCtx(ctx, im, crit, opt)
 	}
 	cap := EffectiveCap(opt, w, h)
 	tile := cap
@@ -37,14 +52,19 @@ func SplitParallel(im *pixmap.Image, crit homog.Criterion, opt Options, workers 
 	tx := (w + tile - 1) / tile
 	ty := (h + tile - 1) / tile
 	if tx*ty == 1 {
-		return Split(im, crit, opt)
+		return SplitCtx(ctx, im, crit, opt)
 	}
 
 	res := &Result{
 		W: w, H: h,
-		Labels:        make([]int32, w*h),
-		Size:          make([]int32, w*h),
 		MaxSquareUsed: cap,
+	}
+	if sc := opt.Scratch; sc != nil {
+		res.Labels = grownInt32(&sc.labels, w*h)
+		res.Size = grownInt32(&sc.size, w*h)
+	} else {
+		res.Labels = make([]int32, w*h)
+		res.Size = make([]int32, w*h)
 	}
 
 	type tileOut struct {
@@ -65,7 +85,14 @@ func SplitParallel(im *pixmap.Image, crit homog.Criterion, opt Options, workers 
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			sc := tileScratch.Get().(*Scratch)
+			defer tileScratch.Put(sc)
 			for t := range next {
+				// Keep draining the feeder after cancellation so it never
+				// blocks; just stop doing the work.
+				if ctx.Err() != nil {
+					continue
+				}
 				x0 := (t % tx) * tile
 				y0 := (t / tx) * tile
 				tw := min(tile, w-x0)
@@ -74,7 +101,7 @@ func SplitParallel(im *pixmap.Image, crit homog.Criterion, opt Options, workers 
 				if err != nil {
 					panic(err) // unreachable: tile geometry is in bounds
 				}
-				r := Split(sub, crit, Options{MaxSquare: cap})
+				r := Split(sub, crit, Options{MaxSquare: cap, Scratch: sc})
 				outs[t] = tileOut{numSquares: r.NumSquares, combinedPerIter: r.CombinedPerIter}
 				// Re-anchor tile-local labels at the global NW pixel index.
 				for ly := 0; ly < th; ly++ {
@@ -91,6 +118,9 @@ func SplitParallel(im *pixmap.Image, crit homog.Criterion, opt Options, workers 
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// Aggregate per-level combine counts and replay the sequential
 	// termination rule: pass l runs while the previous pass combined
@@ -121,5 +151,5 @@ func SplitParallel(im *pixmap.Image, crit homog.Criterion, opt Options, workers 
 		res.Iterations = 1
 		res.CombinedPerIter = append(res.CombinedPerIter, 0)
 	}
-	return res
+	return res, nil
 }

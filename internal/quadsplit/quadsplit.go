@@ -1,6 +1,7 @@
 package quadsplit
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 
@@ -18,6 +19,47 @@ type Options struct {
 	// the larger image dimension; Unbounded (−1) removes the cap. Any
 	// other value is rounded down to a power of two.
 	MaxSquare int
+	// Scratch, when non-nil, supplies reusable buffers for the result's
+	// label/size arrays and the pixel-level working set. The returned
+	// Result then aliases the scratch: the caller owns both and must not
+	// start another split with the same Scratch while the Result is live.
+	Scratch *Scratch
+}
+
+// Scratch is a reusable buffer set for the split stage. The zero value is
+// ready to use; buffers grow to the largest image seen and are retained
+// across runs, which is what lets a pooled caller split same-size images
+// with near-zero allocation. A Scratch serves one split at a time.
+type Scratch struct {
+	labels, size []int32
+	iv           []homog.Interval
+	solid        []bool
+	claimed      []bool
+}
+
+// grownInt32 returns buf resized to n, reallocating only on growth.
+func grownInt32(buf *[]int32, n int) []int32 {
+	if cap(*buf) < n {
+		*buf = make([]int32, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+func grownIV(buf *[]homog.Interval, n int) []homog.Interval {
+	if cap(*buf) < n {
+		*buf = make([]homog.Interval, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+func grownBool(buf *[]bool, n int) []bool {
+	if cap(*buf) < n {
+		*buf = make([]bool, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
 }
 
 // Square describes one homogeneous square region: its north-west corner,
@@ -79,15 +121,32 @@ func prevPow2(v int) int {
 // implementation against which the data-parallel and message-passing
 // engines are verified.
 func Split(im *pixmap.Image, crit homog.Criterion, opt Options) *Result {
+	res, _ := SplitCtx(context.Background(), im, crit, opt)
+	return res
+}
+
+// SplitCtx is Split with cooperative cancellation: the combining loop
+// checks ctx at every level boundary and returns (nil, ctx.Err()) when the
+// context is done. The labels it produces are byte-identical to Split's;
+// cancellation never alters a completed result.
+func SplitCtx(ctx context.Context, im *pixmap.Image, crit homog.Criterion, opt Options) (*Result, error) {
 	w, h := im.W, im.H
 	res := &Result{
 		W: w, H: h,
-		Labels:        make([]int32, w*h),
-		Size:          make([]int32, w*h),
 		MaxSquareUsed: EffectiveCap(opt, w, h),
 	}
+	if sc := opt.Scratch; sc != nil {
+		res.Labels = grownInt32(&sc.labels, w*h)
+		res.Size = grownInt32(&sc.size, w*h)
+	} else {
+		res.Labels = make([]int32, w*h)
+		res.Size = make([]int32, w*h)
+	}
 	if w == 0 || h == 0 {
-		return res
+		return res, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 
 	// Level state: per-level block intervals and solidity. Level l blocks
@@ -101,7 +160,18 @@ func Split(im *pixmap.Image, crit homog.Criterion, opt Options) *Result {
 	maxLevel := bits.Len(uint(res.MaxSquareUsed)) - 1
 
 	levels := make([]level, 1, maxLevel+1)
-	levels[0] = level{bw: w, bh: h, iv: make([]homog.Interval, w*h), solid: make([]bool, w*h)}
+	// Level 0 is the pixel-sized working set — the big one; it and the
+	// claim mask below are the buffers worth reusing. Higher levels shrink
+	// geometrically and stay cheap to allocate.
+	lev0 := level{bw: w, bh: h}
+	if sc := opt.Scratch; sc != nil {
+		lev0.iv = grownIV(&sc.iv, w*h)
+		lev0.solid = grownBool(&sc.solid, w*h)
+	} else {
+		lev0.iv = make([]homog.Interval, w*h)
+		lev0.solid = make([]bool, w*h)
+	}
+	levels[0] = lev0
 	for i, p := range im.Pix {
 		levels[0].iv[i] = homog.Point(p)
 		levels[0].solid[i] = true
@@ -109,6 +179,9 @@ func Split(im *pixmap.Image, crit homog.Criterion, opt Options) *Result {
 
 	top := 0 // highest level with at least one solid block
 	for l := 1; l <= maxLevel; l++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		s := 1 << l
 		prev := &levels[l-1]
 		cur := level{
@@ -167,7 +240,13 @@ func Split(im *pixmap.Image, crit homog.Criterion, opt Options) *Result {
 
 	// Label every pixel with the largest solid block containing it,
 	// scanning levels top-down so each pixel is claimed once.
-	claimed := make([]bool, w*h)
+	var claimed []bool
+	if sc := opt.Scratch; sc != nil {
+		claimed = grownBool(&sc.claimed, w*h)
+		clear(claimed)
+	} else {
+		claimed = make([]bool, w*h)
+	}
 	for l := top; l >= 0; l-- {
 		s := 1 << l
 		lv := &levels[l]
@@ -193,7 +272,7 @@ func Split(im *pixmap.Image, crit homog.Criterion, opt Options) *Result {
 			}
 		}
 	}
-	return res
+	return res, nil
 }
 
 // Squares enumerates the square regions in north-west raster order.

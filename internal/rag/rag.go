@@ -1,7 +1,9 @@
 package rag
 
 import (
+	"context"
 	"fmt"
+	"slices"
 	"sort"
 
 	"regiongrow/internal/homog"
@@ -127,14 +129,40 @@ func (g *Graph) Weight(a, b *Vertex) int { return homog.Weight(a.IV, b.IV) }
 // label with the interval of its pixels, one edge per 4-adjacent label
 // pair. This is how the merge stage receives the split stage's output.
 func BuildFromLabels(im *pixmap.Image, labels []int32, crit homog.Criterion) *Graph {
+	g, _ := BuildFromLabelsCtx(context.Background(), im, labels, crit)
+	return g
+}
+
+// buildCheckRows is how many image rows BuildFromLabelsCtx processes
+// between context checks — frequent enough that cancellation lands well
+// within one stage, rare enough to keep the check off the per-pixel path.
+const buildCheckRows = 64
+
+// BuildFromLabelsCtx is BuildFromLabels with cooperative cancellation,
+// checked every few rows; it returns (nil, ctx.Err()) when ctx is done.
+func BuildFromLabelsCtx(ctx context.Context, im *pixmap.Image, labels []int32, crit homog.Criterion) (*Graph, error) {
 	if len(labels) != im.W*im.H {
 		panic(fmt.Sprintf("rag: %d labels for %dx%d image", len(labels), im.W, im.H))
 	}
 	g := NewGraph(crit)
-	for i, lab := range labels {
-		g.AddVertex(lab, homog.Point(im.Pix[i]))
+	for y := 0; y < im.H; y++ {
+		if y%buildCheckRows == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		row := y * im.W
+		for x := 0; x < im.W; x++ {
+			i := row + x
+			g.AddVertex(labels[i], homog.Point(im.Pix[i]))
+		}
 	}
 	for y := 0; y < im.H; y++ {
+		if y%buildCheckRows == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		for x := 0; x < im.W; x++ {
 			i := y*im.W + x
 			if x+1 < im.W && labels[i] != labels[i+1] {
@@ -145,7 +173,7 @@ func BuildFromLabels(im *pixmap.Image, labels []int32, crit homog.Criterion) *Gr
 			}
 		}
 	}
-	return g
+	return g, nil
 }
 
 // Choose computes the merge choice of vertex v at the given iteration:
@@ -157,8 +185,17 @@ func BuildFromLabels(im *pixmap.Image, labels []int32, crit homog.Criterion) *Gr
 // Hash3(seed, iter, id) mod count among them, so identical (seed, iter,
 // graph) yields identical choices everywhere.
 func (g *Graph) Choose(v *Vertex, policy TiePolicy, seed uint64, iter int) int32 {
+	c, _ := g.ChooseBuf(v, policy, seed, iter, nil)
+	return c
+}
+
+// ChooseBuf is Choose with a caller-owned scratch slice for the tie list;
+// it returns the choice and the (possibly grown) scratch so a loop over
+// many vertices amortises the allocation. The returned slice holds no
+// live data between calls.
+func (g *Graph) ChooseBuf(v *Vertex, policy TiePolicy, seed uint64, iter int, tied []int32) (int32, []int32) {
 	bestW := -1
-	var tied []int32
+	tied = tied[:0]
 	for wid := range v.Adj {
 		w := g.Verts[wid]
 		wt := g.Weight(v, w)
@@ -175,9 +212,9 @@ func (g *Graph) Choose(v *Vertex, policy TiePolicy, seed uint64, iter int) int32
 		}
 	}
 	if bestW < 0 {
-		return NoChoice
+		return NoChoice, tied
 	}
-	return PickTied(tied, policy, seed, iter, v.ID)
+	return PickTied(tied, policy, seed, iter, v.ID), tied
 }
 
 // PickTied resolves a tie among candidate neighbour IDs for chooser id.
@@ -190,7 +227,7 @@ func PickTied(tied []int32, policy TiePolicy, seed uint64, iter int, id int32) i
 	if len(tied) == 1 {
 		return tied[0]
 	}
-	sort.Slice(tied, func(i, j int) bool { return tied[i] < tied[j] })
+	slices.Sort(tied)
 	switch policy {
 	case SmallestID:
 		return tied[0]
@@ -241,9 +278,25 @@ func (s MergeStats) TotalMerges() int {
 // simulated-cost accounting, with the cross-engine property tests pinning
 // them to these semantics.
 func Drive(policy TiePolicy, hasActive func() bool, iterate func(effective TiePolicy, iter int) int) MergeStats {
+	stats, _ := DriveCtx(context.Background(), policy, hasActive, iterate)
+	return stats
+}
+
+// DriveCtx is Drive with cooperative cancellation: the loop checks ctx
+// before every round (including the first) and returns the stats so far
+// plus ctx.Err() when the context is done — cancelling mid-merge therefore
+// aborts within one iteration. A nil error means the merge ran to
+// completion.
+func DriveCtx(ctx context.Context, policy TiePolicy, hasActive func() bool, iterate func(effective TiePolicy, iter int) int) (MergeStats, error) {
 	var stats MergeStats
 	stalls := 0
-	for hasActive() {
+	for {
+		if err := ctx.Err(); err != nil {
+			return stats, err
+		}
+		if !hasActive() {
+			return stats, nil
+		}
 		stats.Iterations++
 		effective := policy
 		if policy == Random && stalls >= 3 {
@@ -259,7 +312,6 @@ func Drive(policy TiePolicy, hasActive func() bool, iterate func(effective TiePo
 			stalls = 0
 		}
 	}
-	return stats
 }
 
 // MergeAll runs merge iterations until no active edges remain, mutating the
@@ -281,8 +333,11 @@ func (g *Graph) MergeAll(policy TiePolicy, seed uint64) (MergeStats, *Assignment
 // unions in asg.
 func (g *Graph) MergeIteration(policy TiePolicy, seed uint64, iter int, asg *Assignments) int {
 	choice := make(map[int32]int32, len(g.Verts))
+	var tied []int32
 	for id, v := range g.Verts {
-		if c := g.Choose(v, policy, seed, iter); c != NoChoice {
+		var c int32
+		c, tied = g.ChooseBuf(v, policy, seed, iter, tied)
+		if c != NoChoice {
 			choice[id] = c
 		}
 	}

@@ -1,6 +1,9 @@
 package rag
 
-import "sort"
+import (
+	"context"
+	"sort"
+)
 
 // MergeSerial is the sequential baseline the paper's complexity section
 // bounds against: it merges exactly one region pair per iteration — the
@@ -15,9 +18,19 @@ import "sort"
 // the mutual-merge segmentation when merge order affects attainable
 // unions.
 func (g *Graph) MergeSerial() (MergeStats, *Assignments) {
+	stats, asg, _ := g.MergeSerialCtx(context.Background())
+	return stats, asg
+}
+
+// MergeSerialCtx is MergeSerial with cooperative cancellation, checked
+// before every one-merge iteration.
+func (g *Graph) MergeSerialCtx(ctx context.Context) (MergeStats, *Assignments, error) {
 	var stats MergeStats
 	asg := NewAssignments()
 	for {
+		if err := ctx.Err(); err != nil {
+			return stats, asg, err
+		}
 		a, b, found := g.bestActiveEdge()
 		if !found {
 			break
@@ -27,7 +40,7 @@ func (g *Graph) MergeSerial() (MergeStats, *Assignments) {
 		asg.Record(b, a)
 		stats.MergesPerIter = append(stats.MergesPerIter, 1)
 	}
-	return stats, asg
+	return stats, asg, nil
 }
 
 // bestActiveEdge scans for the active edge minimising (weight, min ID,

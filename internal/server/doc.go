@@ -10,4 +10,13 @@
 // queue rejects new work with 429 Too Many Requests rather than queueing
 // unboundedly, and Close drains accepted work so graceful shutdown loses
 // nothing.
+//
+// Jobs run through pooled per-engine regiongrow.Segmenter sessions and
+// carry their request's context: a client disconnect or the per-request
+// deadline (Options.RequestTimeout; answered 504 naming the stage
+// reached) cancels the engine within one split/merge iteration, unless
+// Options.WarmAbandoned keeps abandoned jobs running to warm the cache.
+// Each job's stage observer feeds /v1/stats' per-stage progress gauges
+// and the cancellation counters are split by cause (disconnect vs
+// deadline).
 package server

@@ -140,18 +140,34 @@ func (s *Server) handleSegment(w http.ResponseWriter, r *http.Request) {
 	key := regiongrow.CacheKeyForHash(imageHash, req.im.W, req.im.H, req.cfg, req.kind)
 	seg, hit := s.cache.Get(key)
 	if !hit {
-		seg, err = s.pool.Submit(r.Context(), key, req.im, req.cfg, req.kind)
+		ctx := r.Context()
+		if s.opts.RequestTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.opts.RequestTimeout)
+			defer cancel()
+		}
+		tracker := newJobTracker(&s.metrics.progress)
+		seg, err = s.pool.Submit(ctx, key, req.im, req.cfg, req.kind, tracker)
 		switch {
 		case errors.Is(err, ErrQueueFull):
 			s.metrics.rejected.Add(1)
 			w.Header().Set("Retry-After", "1")
 			http.Error(w, "job queue full, retry later", http.StatusTooManyRequests)
 			return
-		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-			// The client gave up; the job still completes on its worker
-			// and warms the cache via the pool callback. Nobody is
-			// listening for this response, and it is not a server failure.
-			s.metrics.canceled.Add(1)
+		case errors.Is(err, context.DeadlineExceeded):
+			// The per-request deadline fired. Unless WarmAbandoned keeps
+			// it running, the compute has been cancelled within one
+			// split/merge iteration; tell the client how far it got.
+			s.metrics.canceledDeadline.Add(1)
+			http.Error(w, fmt.Sprintf("deadline exceeded after %v during %s",
+				s.opts.RequestTimeout, tracker.StageString()), http.StatusGatewayTimeout)
+			return
+		case errors.Is(err, context.Canceled):
+			// The client went away. Nobody is listening for this
+			// response, and it is not a server failure; under
+			// WarmAbandoned the job still completes on its worker and
+			// warms the cache via the pool callback.
+			s.metrics.canceledDisconnect.Add(1)
 			return
 		case errors.Is(err, ErrClosed):
 			s.metrics.failed.Add(1)

@@ -69,19 +69,30 @@ func (h *histogram) snapshot() HistogramStats {
 // histograms are pre-allocated for every engine kind at construction, so
 // the map is read-only afterwards and needs no lock.
 type metrics struct {
-	start     time.Time
-	requests  atomic.Int64 // POST /v1/segment attempts
-	served    atomic.Int64 // 200 responses
-	rejected  atomic.Int64 // 429 responses (queue full)
-	failed    atomic.Int64 // 4xx/5xx other than 429
-	canceled  atomic.Int64 // client gave up while the job was queued/running
-	perEngine map[string]*histogram
+	start    time.Time
+	requests atomic.Int64 // POST /v1/segment attempts
+	served   atomic.Int64 // 200 responses
+	rejected atomic.Int64 // 429 responses (queue full)
+	failed   atomic.Int64 // 4xx/5xx other than 429
+	// Cancellation counters: disconnect (client went away) vs deadline
+	// (request timeout fired, answered 504). canceled() sums them.
+	canceledDisconnect atomic.Int64
+	canceledDeadline   atomic.Int64
+	progress           progressMetrics
+	perEngine          map[string]*histogram
+}
+
+// allKinds enumerates every engine kind the service accepts — the single
+// list both the per-kind Segmenter table and the histogram pre-allocation
+// build from, so they can never drift apart.
+func allKinds() []regiongrow.EngineKind {
+	return append(regiongrow.AllEngineKinds(),
+		regiongrow.SequentialEngine, regiongrow.NativeParallel)
 }
 
 func newMetrics() *metrics {
 	m := &metrics{start: time.Now(), perEngine: make(map[string]*histogram)}
-	for _, k := range append(regiongrow.AllEngineKinds(),
-		regiongrow.SequentialEngine, regiongrow.NativeParallel) {
+	for _, k := range allKinds() {
 		m.perEngine[k.String()] = &histogram{}
 	}
 	return m
@@ -101,16 +112,22 @@ type Stats struct {
 	Requests      RequestStats              `json:"requests"`
 	Cache         CacheStats                `json:"cache"`
 	Queue         QueueStats                `json:"queue"`
+	Progress      ProgressStats             `json:"progress"`
 	Engines       map[string]HistogramStats `json:"engines"`
 }
 
-// RequestStats counts POST /v1/segment outcomes.
+// RequestStats counts POST /v1/segment outcomes. Canceled is the sum of
+// the two cancellation causes: CanceledDisconnect (the client went away —
+// nobody hears the answer) and CanceledDeadline (the per-request deadline
+// fired and the client was told 504, naming the stage the job reached).
 type RequestStats struct {
-	Total    int64 `json:"total"`
-	Served   int64 `json:"served"`
-	Rejected int64 `json:"rejected"`
-	Failed   int64 `json:"failed"`
-	Canceled int64 `json:"canceled"`
+	Total              int64 `json:"total"`
+	Served             int64 `json:"served"`
+	Rejected           int64 `json:"rejected"`
+	Failed             int64 `json:"failed"`
+	Canceled           int64 `json:"canceled"`
+	CanceledDisconnect int64 `json:"canceled_disconnect"`
+	CanceledDeadline   int64 `json:"canceled_deadline"`
 }
 
 // CacheStats reports result-cache effectiveness.
@@ -130,15 +147,19 @@ type QueueStats struct {
 }
 
 func (m *metrics) snapshot(pool *Pool, cache *resultCache) Stats {
+	disc, dead := m.canceledDisconnect.Load(), m.canceledDeadline.Load()
 	s := Stats{
 		UptimeSeconds: time.Since(m.start).Seconds(),
 		Requests: RequestStats{
-			Total:    m.requests.Load(),
-			Served:   m.served.Load(),
-			Rejected: m.rejected.Load(),
-			Failed:   m.failed.Load(),
-			Canceled: m.canceled.Load(),
+			Total:              m.requests.Load(),
+			Served:             m.served.Load(),
+			Rejected:           m.rejected.Load(),
+			Failed:             m.failed.Load(),
+			Canceled:           disc + dead,
+			CanceledDisconnect: disc,
+			CanceledDeadline:   dead,
 		},
+		Progress: m.progress.snapshot(),
 		Cache: CacheStats{
 			Hits:     cache.Hits(),
 			Misses:   cache.Misses(),

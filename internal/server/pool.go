@@ -19,23 +19,22 @@ var (
 	ErrClosed = errors.New("server: pool closed")
 )
 
-// SegmentFunc segments one image. The zero value of Options selects the
-// real engines; tests substitute stubs to control timing.
-type SegmentFunc func(im *regiongrow.Image, cfg regiongrow.Config, kind regiongrow.EngineKind) (*regiongrow.Segmentation, error)
-
-func defaultSegment(im *regiongrow.Image, cfg regiongrow.Config, kind regiongrow.EngineKind) (*regiongrow.Segmentation, error) {
-	eng, err := regiongrow.NewEngine(kind)
-	if err != nil {
-		return nil, err
-	}
-	return eng.Segment(im, cfg)
-}
+// SegmentFunc segments one image under a context, reporting stage
+// progress to obs (which may be nil). The zero value of Options selects
+// the Server's pooled per-engine Segmenters; tests substitute stubs to
+// control timing.
+type SegmentFunc func(ctx context.Context, im *regiongrow.Image, cfg regiongrow.Config, kind regiongrow.EngineKind, obs regiongrow.Observer) (*regiongrow.Segmentation, error)
 
 type job struct {
+	// ctx governs the compute: the request context by default, or a
+	// detached (never-cancelled) derivative under the warm-abandoned
+	// policy.
+	ctx  context.Context
 	key  string
 	im   *regiongrow.Image
 	cfg  regiongrow.Config
 	kind regiongrow.EngineKind
+	obs  regiongrow.Observer
 	done chan jobResult
 }
 
@@ -46,14 +45,18 @@ type jobResult struct {
 
 // Result describes one completed job, delivered to the pool's onResult
 // callback on the worker goroutine — even when the submitter has already
-// abandoned the wait, which is what lets the Server cache work a client
-// gave up on.
+// abandoned the wait. Err carries the compute error; under the default
+// policy an abandoned job surfaces here with its context error, under
+// WarmAbandoned it completes and can warm the Server's cache. Obs is the
+// job's observer, handed back so the callback can finalize whatever
+// per-job tracking it set up, at the one point compute has truly ended.
 type Result struct {
 	Key     string
 	Kind    regiongrow.EngineKind
 	Seg     *regiongrow.Segmentation
 	Err     error
 	Elapsed time.Duration
+	Obs     regiongrow.Observer
 }
 
 // Pool is a bounded persistent worker pool: a fixed number of goroutines
@@ -61,11 +64,18 @@ type Result struct {
 // rejects immediately with ErrQueueFull, which is the service's
 // backpressure signal — and Close drains every job already accepted before
 // returning, which is what makes graceful shutdown lossless.
+//
+// Each job carries its submitter's context into the compute: when the
+// submitter disconnects or its deadline fires, the engine aborts within
+// one split/merge iteration and the worker moves on. Constructing the
+// pool with warm=true restores the detached policy instead — abandoned
+// jobs run to completion so their results can still be cached.
 type Pool struct {
 	jobs     chan *job
 	segment  SegmentFunc
 	onResult func(Result)
 	workers  int
+	warm     bool
 	wg       sync.WaitGroup
 	mu       sync.RWMutex
 	closed   bool
@@ -74,21 +84,23 @@ type Pool struct {
 
 // NewPool starts workers goroutines over a queue of the given depth.
 // Non-positive workers or depth panic: the Server constructor is
-// responsible for defaulting them. onResult, if non-nil, runs on the
-// worker goroutine for every completed job, before the submitter is
-// woken.
-func NewPool(workers, depth int, fn SegmentFunc, onResult func(Result)) *Pool {
+// responsible for defaulting them. fn must be non-nil. onResult, if
+// non-nil, runs on the worker goroutine for every job that reached a
+// worker, before the submitter is woken. warm selects the abandoned-job
+// policy described on Pool.
+func NewPool(workers, depth int, fn SegmentFunc, onResult func(Result), warm bool) *Pool {
 	if workers <= 0 || depth <= 0 {
 		panic("server: NewPool needs positive workers and depth")
 	}
 	if fn == nil {
-		fn = defaultSegment
+		fn = freshSegment
 	}
 	p := &Pool{
 		jobs:     make(chan *job, depth),
 		segment:  fn,
 		onResult: onResult,
 		workers:  workers,
+		warm:     warm,
 	}
 	p.wg.Add(workers)
 	for i := 0; i < workers; i++ {
@@ -97,29 +109,52 @@ func NewPool(workers, depth int, fn SegmentFunc, onResult func(Result)) *Pool {
 	return p
 }
 
+// freshSegment is the fallback SegmentFunc for pools constructed without
+// one outside a Server: a throwaway Segmenter per job. The Server installs
+// its pooled per-engine sessions instead.
+func freshSegment(ctx context.Context, im *regiongrow.Image, cfg regiongrow.Config, kind regiongrow.EngineKind, obs regiongrow.Observer) (*regiongrow.Segmentation, error) {
+	s, err := regiongrow.New(kind)
+	if err != nil {
+		return nil, err
+	}
+	return s.SegmentObserved(ctx, im, cfg, obs)
+}
+
 func (p *Pool) worker() {
 	defer p.wg.Done()
 	for j := range p.jobs {
 		p.inflight.Add(1)
 		start := time.Now()
-		seg, err := p.segment(j.im, j.cfg, j.kind)
-		elapsed := time.Since(start)
-		p.inflight.Add(-1)
-		if p.onResult != nil {
-			p.onResult(Result{Key: j.key, Kind: j.kind, Seg: seg, Err: err, Elapsed: elapsed})
+		var seg *regiongrow.Segmentation
+		err := j.ctx.Err()
+		if err == nil {
+			seg, err = p.segment(j.ctx, j.im, j.cfg, j.kind, j.obs)
 		}
+		elapsed := time.Since(start)
+		// The job counts as in flight until its result — including any
+		// per-job tracking finalized by the callback — is fully recorded.
+		if p.onResult != nil {
+			p.onResult(Result{Key: j.key, Kind: j.kind, Seg: seg, Err: err, Elapsed: elapsed, Obs: j.obs})
+		}
+		p.inflight.Add(-1)
 		j.done <- jobResult{seg: seg, err: err}
 	}
 }
 
 // Submit enqueues one segmentation and waits for its result. key is an
-// opaque tag handed back through the onResult callback. Submit returns
+// opaque tag handed back through the onResult callback; obs, if non-nil,
+// receives the job's stage events from the worker. Submit returns
 // ErrQueueFull without blocking when the queue is saturated, ErrClosed
-// after Close, and ctx.Err() if the caller gives up first (the job itself
-// still runs to completion on its worker — and still reaches onResult —
-// only the wait is abandoned).
-func (p *Pool) Submit(ctx context.Context, key string, im *regiongrow.Image, cfg regiongrow.Config, kind regiongrow.EngineKind) (*regiongrow.Segmentation, error) {
-	j := &job{key: key, im: im, cfg: cfg, kind: kind, done: make(chan jobResult, 1)}
+// after Close, and ctx.Err() when ctx ends first. Under the default
+// policy the job's compute shares ctx, so a disconnect or deadline also
+// cancels the engine within one iteration; under the warm policy only the
+// wait is abandoned and the job still runs to completion on its worker.
+func (p *Pool) Submit(ctx context.Context, key string, im *regiongrow.Image, cfg regiongrow.Config, kind regiongrow.EngineKind, obs regiongrow.Observer) (*regiongrow.Segmentation, error) {
+	runCtx := ctx
+	if p.warm {
+		runCtx = context.WithoutCancel(ctx)
+	}
+	j := &job{ctx: runCtx, key: key, im: im, cfg: cfg, kind: kind, obs: obs, done: make(chan jobResult, 1)}
 
 	p.mu.RLock()
 	if p.closed {

@@ -1,15 +1,18 @@
 package server
 
 import (
+	"context"
 	"net/http"
 	"runtime"
+	"time"
 
 	"regiongrow"
 )
 
 // Options configure a Server. The zero value is serviceable: GOMAXPROCS
 // workers, a 64-deep queue, a 256-entry cache, 16 MiB uploads, real
-// engines.
+// engines, no per-request deadline, and compute that is cancelled when
+// its client disconnects.
 type Options struct {
 	// Workers is the worker-pool size; <=0 selects GOMAXPROCS.
 	Workers int
@@ -21,8 +24,17 @@ type Options struct {
 	CacheEntries int
 	// MaxBodyBytes bounds PGM uploads; <=0 selects 16 MiB.
 	MaxBodyBytes int64
-	// Segment replaces the real engines; nil selects them. Tests use it
-	// to control job timing.
+	// RequestTimeout bounds each /v1/segment compute; 0 means no limit.
+	// A request exceeding it is answered 504 Gateway Timeout naming the
+	// stage the job reached, and counted under canceled_deadline.
+	RequestTimeout time.Duration
+	// WarmAbandoned keeps computing jobs whose client disconnected or
+	// timed out, so their results warm the cache for the retry that
+	// usually follows. Off by default: abandoned compute is cancelled
+	// within one split/merge iteration and its worker freed.
+	WarmAbandoned bool
+	// Segment replaces the pooled per-engine Segmenters; nil selects
+	// them. Tests use it to control job timing.
 	Segment SegmentFunc
 }
 
@@ -51,29 +63,69 @@ type Server struct {
 	cache   *resultCache
 	metrics *metrics
 	mux     *http.ServeMux
+	// segmenters are the long-lived per-engine sessions every job runs
+	// through: their buffer pools are what makes the steady-state
+	// cache-miss path allocate near zero for the split stage.
+	segmenters map[regiongrow.EngineKind]*regiongrow.Segmenter
 }
 
 // New builds a Server and starts its worker pool.
 func New(opts Options) *Server {
 	opts = opts.withDefaults()
 	s := &Server{
-		opts:    opts,
-		cache:   newResultCache(opts.CacheEntries),
-		metrics: newMetrics(),
-		mux:     http.NewServeMux(),
+		opts:       opts,
+		cache:      newResultCache(opts.CacheEntries),
+		metrics:    newMetrics(),
+		mux:        http.NewServeMux(),
+		segmenters: make(map[regiongrow.EngineKind]*regiongrow.Segmenter),
 	}
-	// Results are cached and observed from the worker, not the handler, so
-	// a job whose client disconnected mid-queue still warms the cache.
-	s.pool = NewPool(opts.Workers, opts.QueueDepth, opts.Segment, func(r Result) {
+	for _, k := range allKinds() {
+		sg, err := regiongrow.New(k)
+		if err != nil {
+			panic(err) // unreachable: every listed kind is constructible
+		}
+		s.segmenters[k] = sg
+	}
+	fn := opts.Segment
+	if fn == nil {
+		fn = s.segment
+	}
+	// Results are cached and observed from the worker, not the handler:
+	// under the warm-abandoned policy that is what lets a job whose client
+	// gave up still warm the cache. Only successful jobs are recorded —
+	// cancelled compute surfaces here with its context error and is
+	// dropped. The job's stage gauge is released here too: this callback
+	// runs on the worker after compute has truly ended, the only point
+	// correct under every policy and SegmentFunc.
+	s.pool = NewPool(opts.Workers, opts.QueueDepth, fn, func(r Result) {
+		if t, ok := r.Obs.(*jobTracker); ok {
+			t.finish()
+		}
 		if r.Err == nil {
 			s.metrics.observe(r.Kind, r.Elapsed)
 			s.cache.Put(r.Key, r.Seg)
 		}
-	})
+	}, opts.WarmAbandoned)
 	s.mux.HandleFunc("POST /v1/segment", s.handleSegment)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s
+}
+
+// segment is the default SegmentFunc: route the job through the pooled
+// session for its engine kind. (The pool worker releases the job
+// tracker's stage gauge after any SegmentFunc returns.)
+func (s *Server) segment(ctx context.Context, im *regiongrow.Image, cfg regiongrow.Config, kind regiongrow.EngineKind, obs regiongrow.Observer) (*regiongrow.Segmentation, error) {
+	sg, ok := s.segmenters[kind]
+	if !ok {
+		// Unreachable via HTTP (ParseEngineKind gates kinds), kept for
+		// direct Pool users.
+		var err error
+		if sg, err = regiongrow.New(kind); err != nil {
+			return nil, err
+		}
+	}
+	return sg.SegmentObserved(ctx, im, cfg, obs)
 }
 
 // Handler returns the service's routing handler.

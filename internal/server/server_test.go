@@ -184,9 +184,10 @@ func TestCacheHitMiss(t *testing.T) {
 
 // blockingSegment returns a SegmentFunc that signals each start on started
 // and blocks until release is closed, then produces a minimal valid
-// segmentation.
+// segmentation. It ignores ctx: jobs run to completion once started, which
+// keeps the shutdown and queueing tests deterministic.
 func blockingSegment(started chan<- struct{}, release <-chan struct{}) SegmentFunc {
-	return func(im *regiongrow.Image, cfg regiongrow.Config, kind regiongrow.EngineKind) (*regiongrow.Segmentation, error) {
+	return func(ctx context.Context, im *regiongrow.Image, cfg regiongrow.Config, kind regiongrow.EngineKind, obs regiongrow.Observer) (*regiongrow.Segmentation, error) {
 		started <- struct{}{}
 		<-release
 		return &regiongrow.Segmentation{
@@ -299,7 +300,7 @@ func TestGracefulShutdownDrains(t *testing.T) {
 		t.Fatalf("Shutdown: %v", err)
 	}
 	svc.Close()
-	if _, err := svc.pool.Submit(context.Background(), "", nil, regiongrow.Config{}, regiongrow.SequentialEngine); err != ErrClosed {
+	if _, err := svc.pool.Submit(context.Background(), "", nil, regiongrow.Config{}, regiongrow.SequentialEngine, nil); err != ErrClosed {
 		t.Fatalf("Submit after Close = %v, want ErrClosed", err)
 	}
 }
@@ -355,13 +356,14 @@ func TestOversizedUpload413(t *testing.T) {
 	}
 }
 
-// TestAbandonedRequestWarmsCache checks a job whose client disconnects
-// mid-queue still completes and populates the cache, and is counted as
-// canceled rather than failed.
+// TestAbandonedRequestWarmsCache checks that under the explicit
+// WarmAbandoned policy a job whose client disconnects mid-run still
+// completes and populates the cache, and is counted as a disconnect
+// cancellation rather than a failure.
 func TestAbandonedRequestWarmsCache(t *testing.T) {
 	started := make(chan struct{}, 1)
 	release := make(chan struct{})
-	svc := New(Options{Workers: 1, QueueDepth: 4, Segment: blockingSegment(started, release)})
+	svc := New(Options{Workers: 1, QueueDepth: 4, WarmAbandoned: true, Segment: blockingSegment(started, release)})
 	defer svc.Close()
 	_, pgm := paperPGM(t, regiongrow.Image1NestedRects128)
 
@@ -379,8 +381,9 @@ func TestAbandonedRequestWarmsCache(t *testing.T) {
 
 	waitFor(t, func() bool { return svc.cache.Len() == 1 })
 	st := svc.Stats()
-	if st.Requests.Canceled != 1 || st.Requests.Failed != 0 {
-		t.Fatalf("canceled=%d failed=%d, want 1 and 0", st.Requests.Canceled, st.Requests.Failed)
+	if st.Requests.Canceled != 1 || st.Requests.CanceledDisconnect != 1 || st.Requests.Failed != 0 {
+		t.Fatalf("canceled=%d disconnect=%d failed=%d, want 1, 1, 0",
+			st.Requests.Canceled, st.Requests.CanceledDisconnect, st.Requests.Failed)
 	}
 
 	// The warmed entry must now serve a hit without touching the pool.
@@ -395,6 +398,134 @@ func TestAbandonedRequestWarmsCache(t *testing.T) {
 	}
 	if out.Cache != "hit" {
 		t.Fatalf("follow-up cache = %q, want hit (abandoned job should have warmed it)", out.Cache)
+	}
+}
+
+// ctxAwareBlocking returns a SegmentFunc that walks the observer to the
+// merge stage, signals start, then blocks until its context ends or
+// release closes — the shape of a real engine under the new ctx API.
+func ctxAwareBlocking(started chan<- struct{}, release <-chan struct{}) SegmentFunc {
+	return func(ctx context.Context, im *regiongrow.Image, cfg regiongrow.Config, kind regiongrow.EngineKind, obs regiongrow.Observer) (*regiongrow.Segmentation, error) {
+		if obs != nil {
+			obs.Observe(regiongrow.StageEvent{Kind: regiongrow.EventSplitStart})
+			obs.Observe(regiongrow.StageEvent{Kind: regiongrow.EventSplitDone, Iterations: 4, Squares: 9})
+			obs.Observe(regiongrow.StageEvent{Kind: regiongrow.EventGraphDone, Squares: 9})
+			obs.Observe(regiongrow.StageEvent{Kind: regiongrow.EventMergeIteration, Iteration: 3, Merges: 2})
+		}
+		started <- struct{}{}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-release:
+			seg := &regiongrow.Segmentation{W: im.W, H: im.H, Labels: make([]int32, im.W*im.H)}
+			if obs != nil {
+				obs.Observe(regiongrow.StageEvent{Kind: regiongrow.EventMergeDone, Iterations: 3, Regions: 1})
+			}
+			return seg, nil
+		}
+	}
+}
+
+// TestRequestTimeout504 checks a compute exceeding RequestTimeout is
+// answered 504 naming the stage the job reached, counted under
+// canceled_deadline, and — under the default policy — actually cancelled,
+// freeing its worker without warming the cache.
+func TestRequestTimeout504(t *testing.T) {
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	defer close(release)
+	svc, ts := newTestServer(t, Options{
+		Workers:        1,
+		QueueDepth:     4,
+		RequestTimeout: 50 * time.Millisecond,
+		Segment:        ctxAwareBlocking(started, release),
+	})
+	_, pgm := paperPGM(t, regiongrow.Image1NestedRects128)
+
+	resp := postSegment(t, ts, "", pgm)
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504 (%s)", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "deadline exceeded") || !strings.Contains(string(body), "merge (iteration 3)") {
+		t.Fatalf("504 body %q does not name the deadline and the stage reached", body)
+	}
+	<-started
+
+	// The worker must come free without release ever closing: the
+	// deadline cancelled the compute.
+	waitFor(t, func() bool { return svc.pool.InFlight() == 0 })
+	if n := svc.cache.Len(); n != 0 {
+		t.Fatalf("cache holds %d entries after a cancelled job, want 0", n)
+	}
+	st := svc.Stats()
+	if st.Requests.CanceledDeadline != 1 || st.Requests.Canceled != 1 {
+		t.Fatalf("canceled_deadline=%d canceled=%d, want 1 and 1",
+			st.Requests.CanceledDeadline, st.Requests.Canceled)
+	}
+	if st.Requests.CanceledDisconnect != 0 {
+		t.Fatalf("canceled_disconnect=%d, want 0", st.Requests.CanceledDisconnect)
+	}
+}
+
+// TestDisconnectCancelsComputeByDefault checks the default abandoned-job
+// policy: a client disconnect cancels the engine (the worker frees
+// without the job completing), nothing warms the cache, and the outcome
+// is counted as a disconnect cancellation.
+func TestDisconnectCancelsComputeByDefault(t *testing.T) {
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	defer close(release)
+	svc := New(Options{Workers: 1, QueueDepth: 4, Segment: ctxAwareBlocking(started, release)})
+	defer svc.Close()
+	_, pgm := paperPGM(t, regiongrow.Image1NestedRects128)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	r := httptest.NewRequestWithContext(ctx, http.MethodPost, "/v1/segment", bytes.NewReader(pgm))
+	handlerDone := make(chan struct{})
+	go func() {
+		svc.ServeHTTP(httptest.NewRecorder(), r)
+		close(handlerDone)
+	}()
+	<-started
+	cancel() // the client goes away mid-job
+	<-handlerDone
+
+	waitFor(t, func() bool { return svc.pool.InFlight() == 0 })
+	if n := svc.cache.Len(); n != 0 {
+		t.Fatalf("cache holds %d entries, want 0 (default policy must not warm from abandoned jobs)", n)
+	}
+	st := svc.Stats()
+	if st.Requests.CanceledDisconnect != 1 || st.Requests.Failed != 0 {
+		t.Fatalf("canceled_disconnect=%d failed=%d, want 1 and 0",
+			st.Requests.CanceledDisconnect, st.Requests.Failed)
+	}
+	// The tracker's gauges must have been released when the worker
+	// finished with the cancelled job.
+	if p := st.Progress; p.InSplit != 0 || p.InGraph != 0 || p.InMerge != 0 {
+		t.Fatalf("stage gauges leaked after cancellation: %+v", p)
+	}
+}
+
+// TestStatsProgress runs a real segmentation and checks the observer-fed
+// progress block: totals advanced, gauges drained back to zero.
+func TestStatsProgress(t *testing.T) {
+	svc, ts := newTestServer(t, Options{})
+	_, pgm := paperPGM(t, regiongrow.Image2Rects128)
+	decodeSegment(t, postSegment(t, ts, "?engine=native", pgm))
+
+	st := svc.Stats()
+	p := st.Progress
+	if p.SplitsDoneTotal < 1 {
+		t.Errorf("splits_done_total = %d, want >= 1", p.SplitsDoneTotal)
+	}
+	if p.MergeIterationsTotal < 1 || p.MergesTotal < 1 {
+		t.Errorf("merge totals = %d iters / %d merges, want >= 1 each",
+			p.MergeIterationsTotal, p.MergesTotal)
+	}
+	if p.InSplit != 0 || p.InGraph != 0 || p.InMerge != 0 {
+		t.Errorf("gauges non-zero after completion: %+v", p)
 	}
 }
 
@@ -451,16 +582,16 @@ func TestPoolCloseDrainsQueue(t *testing.T) {
 	started := make(chan struct{}, 8)
 	release := make(chan struct{})
 	done := make(chan struct{}, 8)
-	fn := func(im *regiongrow.Image, cfg regiongrow.Config, kind regiongrow.EngineKind) (*regiongrow.Segmentation, error) {
+	fn := func(ctx context.Context, im *regiongrow.Image, cfg regiongrow.Config, kind regiongrow.EngineKind, obs regiongrow.Observer) (*regiongrow.Segmentation, error) {
 		started <- struct{}{}
 		<-release
 		done <- struct{}{}
 		return &regiongrow.Segmentation{W: 1, H: 1, Labels: []int32{0}}, nil
 	}
-	p := NewPool(1, 4, fn, nil)
+	p := NewPool(1, 4, fn, nil, false)
 	im := regiongrow.NewImage(1, 1)
 	for i := 0; i < 3; i++ {
-		go p.Submit(context.Background(), "", im, regiongrow.Config{}, regiongrow.SequentialEngine)
+		go p.Submit(context.Background(), "", im, regiongrow.Config{}, regiongrow.SequentialEngine, nil)
 	}
 	<-started
 	waitFor(t, func() bool { return p.QueueDepth() == 2 })

@@ -1,6 +1,7 @@
 package shmengine
 
 import (
+	"context"
 	"runtime"
 	"sort"
 	"sync"
@@ -40,16 +41,37 @@ func (e *Engine) Workers() int {
 
 // Segment implements core.Engine.
 func (e *Engine) Segment(im *pixmap.Image, cfg core.Config) (*core.Segmentation, error) {
+	return e.SegmentContext(context.Background(), im, cfg, core.Run{})
+}
+
+// SegmentContext implements core.ContextEngine: tile workers check ctx at
+// tile boundaries, the RAG build at band boundaries, and the merge driver
+// before every round, so cancellation lands within one iteration and every
+// worker goroutine has drained by the time the error returns.
+func (e *Engine) SegmentContext(ctx context.Context, im *pixmap.Image, cfg core.Config, run core.Run) (*core.Segmentation, error) {
 	workers := e.Workers()
 	crit := cfg.Criterion()
 
+	run.Emit(core.StageEvent{Kind: core.EventSplitStart})
 	t0 := time.Now()
-	sp := quadsplit.SplitParallel(im, crit, quadsplit.Options{MaxSquare: cfg.MaxSquare}, workers)
+	sp, err := quadsplit.SplitParallelCtx(ctx, im, crit,
+		quadsplit.Options{MaxSquare: cfg.MaxSquare, Scratch: run.SplitScratch()}, workers)
+	if err != nil {
+		return nil, err
+	}
 	splitWall := time.Since(t0)
+	run.Emit(core.StageEvent{Kind: core.EventSplitDone, Iterations: sp.Iterations, Squares: sp.NumSquares})
 
 	t1 := time.Now()
-	g, ids := buildRAG(im, sp.Labels, crit, sp.MaxSquareUsed, workers)
-	stats, asg := mergeAll(g, ids, cfg.Tie, cfg.Seed, workers)
+	g, ids, err := buildRAG(ctx, im, sp.Labels, crit, sp.MaxSquareUsed, workers)
+	if err != nil {
+		return nil, err
+	}
+	run.Emit(core.StageEvent{Kind: core.EventGraphDone, Squares: sp.NumSquares})
+	stats, asg, err := mergeAll(ctx, g, ids, cfg.Tie, cfg.Seed, workers, run)
+	if err != nil {
+		return nil, err
+	}
 	labels := relabel(sp.Labels, ids, asg, workers)
 	mergeWall := time.Since(t1)
 
@@ -65,6 +87,7 @@ func (e *Engine) Segment(im *pixmap.Image, cfg core.Config) (*core.Segmentation,
 		MergeWall:         mergeWall,
 	}
 	seg.FillRegions(im)
+	run.Emit(core.StageEvent{Kind: core.EventMergeDone, Iterations: stats.Iterations, Regions: seg.FinalRegions})
 	return seg, nil
 }
 
@@ -102,11 +125,11 @@ func parallel(workers, n int, fn func(start, end int)) {
 // stitched by adding the edges that cross band boundaries. The returned ID
 // list holds every region ID in ascending order; mergeAll and relabel
 // reuse it.
-func buildRAG(im *pixmap.Image, labels []int32, crit homog.Criterion, cap, workers int) (*rag.Graph, []int32) {
+func buildRAG(ctx context.Context, im *pixmap.Image, labels []int32, crit homog.Criterion, cap, workers int) (*rag.Graph, []int32, error) {
 	w, h := im.W, im.H
 	g := rag.NewGraph(crit)
 	if w == 0 || h == 0 {
-		return g, nil
+		return g, nil, nil
 	}
 	if cap < 1 {
 		cap = 1
@@ -131,6 +154,11 @@ func buildRAG(im *pixmap.Image, labels []int32, crit homog.Criterion, cap, worke
 	partial := make([]*rag.Graph, len(starts))
 	parallel(workers, len(starts), func(s, e int) {
 		for b := s; b < e; b++ {
+			// Band boundary: stop building once the run is cancelled; the
+			// partial graphs are discarded below.
+			if ctx.Err() != nil {
+				return
+			}
 			bg := rag.NewGraph(crit)
 			y0, y1 := starts[b], ends[b]
 			for y := y0; y < y1; y++ {
@@ -155,6 +183,10 @@ func buildRAG(im *pixmap.Image, labels []int32, crit homog.Criterion, cap, worke
 			partial[b] = bg
 		}
 	})
+
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 
 	// Merge the partial graphs (vertex ID sets are disjoint across bands)
 	// and stitch the edges crossing each band boundary.
@@ -181,7 +213,7 @@ func buildRAG(im *pixmap.Image, labels []int32, crit homog.Criterion, cap, worke
 		ids = append(ids, id)
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	return g, ids
+	return g, ids, nil
 }
 
 // mergeAll is the parallel twin of rag.(*Graph).MergeAll: the same
@@ -189,20 +221,21 @@ func buildRAG(im *pixmap.Image, labels []int32, crit homog.Criterion, cap, worke
 // active-edge test fanned out over the worker pool. Because choices are
 // pure functions of the graph snapshot, the result is identical to the
 // sequential kernel's.
-func mergeAll(g *rag.Graph, ids []int32, policy rag.TiePolicy, seed uint64, workers int) (rag.MergeStats, *rag.Assignments) {
+func mergeAll(ctx context.Context, g *rag.Graph, ids []int32, policy rag.TiePolicy, seed uint64, workers int, run core.Run) (rag.MergeStats, *rag.Assignments, error) {
 	asg := rag.NewAssignments()
 	verts := make([]*rag.Vertex, len(ids))
 	for i, id := range ids {
 		verts[i] = g.Verts[id]
 	}
-	stats := rag.Drive(policy,
+	stats, err := rag.DriveCtx(ctx, policy,
 		func() bool { return hasActiveEdge(g, verts, workers) },
 		func(effective rag.TiePolicy, iter int) int {
 			var merged int
 			merged, verts = mergeIteration(g, verts, effective, seed, iter, asg, workers)
+			run.Emit(core.StageEvent{Kind: core.EventMergeIteration, Iteration: iter, Merges: merged})
 			return merged
 		})
-	return stats, asg
+	return stats, asg, err
 }
 
 // hasActiveEdge reports whether any edge still satisfies the criterion,
@@ -230,8 +263,9 @@ func hasActiveEdge(g *rag.Graph, verts []*rag.Vertex, workers int) bool {
 func mergeIteration(g *rag.Graph, verts []*rag.Vertex, policy rag.TiePolicy, seed uint64, iter int, asg *rag.Assignments, workers int) (int, []*rag.Vertex) {
 	choices := make([]int32, len(verts))
 	parallel(workers, len(verts), func(s, e int) {
+		var tied []int32 // per-chunk tie scratch, amortised across vertices
 		for i := s; i < e; i++ {
-			choices[i] = g.Choose(verts[i], policy, seed, iter)
+			choices[i], tied = g.ChooseBuf(verts[i], policy, seed, iter, tied)
 		}
 	})
 
@@ -285,4 +319,4 @@ func relabel(labels []int32, ids []int32, asg *rag.Assignments, workers int) []i
 	return out
 }
 
-var _ core.Engine = (*Engine)(nil)
+var _ core.ContextEngine = (*Engine)(nil)

@@ -8,28 +8,39 @@
 // shared-memory engine that runs the algorithm on host goroutines with no
 // simulated machine.
 //
-// Quick start:
+// Quick start — construct a reusable Segmenter session and run it with a
+// context:
 //
+//	s, _ := regiongrow.New(regiongrow.SequentialEngine)
 //	im := regiongrow.GeneratePaperImage(regiongrow.Image3Circles128)
-//	seg, err := regiongrow.Segment(im, regiongrow.Config{
+//	seg, err := s.Segment(ctx, im, regiongrow.Config{
 //		Threshold: 10,
 //		Tie:       regiongrow.RandomTie,
 //		Seed:      1,
 //	})
 //	// seg.Labels assigns every pixel a region ID; seg.FinalRegions == 11.
 //
-// To run one of the paper's machine configurations instead of the
-// sequential engine, build the engine explicitly:
+// The Segmenter is the single code path every engine runs through:
+// cancelling ctx aborts the run within one split/merge iteration, a
+// WithObserver hook streams typed stage events (split done, merge
+// iteration k, N merges), and an internal buffer pool makes repeated
+// calls on same-size images allocate near zero for the split stage. To
+// run one of the paper's machine configurations instead of the sequential
+// engine, pick its kind:
 //
-//	eng, _ := regiongrow.NewEngine(regiongrow.CM5Async)
-//	seg, err := eng.Segment(im, cfg)
+//	s, _ := regiongrow.New(regiongrow.CM5Async)
+//	seg, err := s.Segment(ctx, im, cfg)
 //
 // All engines produce identical segmentations for the same Config — the
 // property-based test suite enforces it — so the engine choice affects
 // only the simulated machine times reported in the Segmentation.
+//
+// The package-level Segment, SegmentNative, and NewEngine remain as thin
+// deprecated shims over Segmenter sessions.
 package regiongrow
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
@@ -197,7 +208,15 @@ func (k EngineKind) MachineConfig() (machine.ConfigID, bool) {
 	}
 }
 
+// Unbounded disables the split-stage square cap when assigned to
+// Config.MaxSquare.
+const Unbounded = quadsplit.Unbounded
+
 // NewEngine constructs the engine for a kind.
+//
+// Deprecated: construct a Segmenter with New instead — it runs the same
+// engine with cancellation, progress events, and buffer pooling. NewEngine
+// remains for callers that need the raw context-free Engine interface.
 func NewEngine(kind EngineKind) (Engine, error) {
 	switch kind {
 	case SequentialEngine:
@@ -227,9 +246,30 @@ func AllEngineKinds() []EngineKind {
 		CM5DataParallel, CM5LinearPermutation, CM5Async}
 }
 
+// Package-level shim sessions: the deprecated one-shots below run through
+// pooled Segmenters so even legacy callers stop reallocating split
+// buffers. Pooling cannot change results — the property suite pins the
+// shims byte-identical to fresh runs.
+var (
+	sequentialSession = mustSession(SequentialEngine)
+	nativeSession     = mustSession(NativeParallel)
+)
+
+func mustSession(kind EngineKind) *Segmenter {
+	s, err := New(kind)
+	if err != nil {
+		panic(err) // unreachable: both kinds are always constructible
+	}
+	return s
+}
+
 // Segment runs the sequential reference engine.
+//
+// Deprecated: use New(SequentialEngine) and (*Segmenter).Segment, which
+// adds cancellation, progress observation, and buffer pooling. This shim
+// produces byte-identical output.
 func Segment(im *Image, cfg Config) (*Segmentation, error) {
-	return core.Sequential{}.Segment(im, cfg)
+	return sequentialSession.Segment(context.Background(), im, cfg)
 }
 
 // SegmentSerial runs the serial merge baseline (one merge per iteration —
@@ -243,8 +283,12 @@ func SegmentSerial(im *Image, cfg Config) (*Segmentation, error) {
 // and merge rounds on a worker pool sized to GOMAXPROCS. Its labels are
 // byte-identical to Segment's for every Config; only the wall times
 // differ.
+//
+// Deprecated: use New(NativeParallel) and (*Segmenter).Segment, which
+// adds cancellation, progress observation, and buffer pooling. This shim
+// produces byte-identical output.
 func SegmentNative(im *Image, cfg Config) (*Segmentation, error) {
-	return shmengine.New().Segment(im, cfg)
+	return nativeSession.Segment(context.Background(), im, cfg)
 }
 
 // RegionStat summarises one final region: area, bounding box, centroid,

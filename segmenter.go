@@ -1,0 +1,209 @@
+package regiongrow
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"regiongrow/internal/core"
+	"regiongrow/internal/shmengine"
+)
+
+// Observer receives typed stage events during a segmentation run: split
+// start/done, graph built, every merge iteration (with its merge count),
+// and completion. See core.Observer for the delivery contract; cancelling
+// the run's context from inside Observe aborts the run within one
+// split/merge iteration.
+type Observer = core.Observer
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc = core.ObserverFunc
+
+// StageEvent is one progress event; see core.StageEvent for field
+// population per kind.
+type StageEvent = core.StageEvent
+
+// EventKind names a stage event type.
+type EventKind = core.EventKind
+
+// The stage event kinds, in emission order.
+const (
+	EventSplitStart     = core.EventSplitStart
+	EventSplitDone      = core.EventSplitDone
+	EventGraphDone      = core.EventGraphDone
+	EventMergeIteration = core.EventMergeIteration
+	EventMergeDone      = core.EventMergeDone
+)
+
+// Segmenter is a reusable segmentation session bound to one engine kind.
+// It is the context-first entry point to every engine: Segment threads
+// ctx through split loops, RAG build, and merge rounds (cancellation
+// returns ctx.Err() within one iteration on every engine), reports stage
+// progress to the configured Observer, and recycles split-stage label and
+// scratch buffers through an internal sync.Pool so repeated calls on
+// same-size images approach zero steady-state allocation for the split
+// stage.
+//
+// A Segmenter is safe for concurrent use; each call draws its own buffer
+// set from the pool. Pooling never affects results: the property-based
+// test suite pins pooled reuse byte-identical to fresh one-shot runs
+// across all paper images, tie policies, and engines, so the determinism
+// and cache-key invariants (CacheKey, CanonicalizeConfig) are untouched.
+type Segmenter struct {
+	kind     EngineKind
+	eng      core.ContextEngine
+	defaults Config
+	observer Observer
+	pooling  bool
+	scratch  sync.Pool // of *core.Scratch
+}
+
+// Option configures a Segmenter at construction time.
+type Option func(*Segmenter) error
+
+// WithTie sets the session's default tie policy, used when Segment is
+// called with a zero Config.
+func WithTie(p TiePolicy) Option {
+	return func(s *Segmenter) error {
+		s.defaults.Tie = p
+		return nil
+	}
+}
+
+// WithThreshold sets the session's default homogeneity threshold, used
+// when Segment is called with a zero Config.
+func WithThreshold(t int) Option {
+	return func(s *Segmenter) error {
+		if t < 0 {
+			return fmt.Errorf("regiongrow: negative threshold %d", t)
+		}
+		s.defaults.Threshold = t
+		return nil
+	}
+}
+
+// WithSeed sets the session's default random-tie seed, used when Segment
+// is called with a zero Config.
+func WithSeed(seed uint64) Option {
+	return func(s *Segmenter) error {
+		s.defaults.Seed = seed
+		return nil
+	}
+}
+
+// WithMaxSquare sets the session's default split square cap. It applies
+// when the per-call Config leaves MaxSquare at 0 (which otherwise selects
+// the paper's N/8 rule), so an explicit per-call cap always wins.
+func WithMaxSquare(n int) Option {
+	return func(s *Segmenter) error {
+		if n < Unbounded {
+			return fmt.Errorf("regiongrow: bad max square %d (want -1 unbounded, 0 default, or a positive cap)", n)
+		}
+		s.defaults.MaxSquare = n
+		return nil
+	}
+}
+
+// WithObserver sets the session observer. A per-call observer passed to
+// SegmentObserved overrides it for that call.
+func WithObserver(o Observer) Option {
+	return func(s *Segmenter) error {
+		s.observer = o
+		return nil
+	}
+}
+
+// WithBufferPool enables or disables the session's scratch-buffer pool.
+// It is on by default; disable it when calls vary wildly in image size and
+// retaining high-water-mark buffers is worse than reallocating.
+func WithBufferPool(enabled bool) Option {
+	return func(s *Segmenter) error {
+		s.pooling = enabled
+		return nil
+	}
+}
+
+// WithWorkers fixes the native engine's worker-pool size (0 follows
+// GOMAXPROCS). It is an error on any other engine kind — the simulated
+// kinds model fixed machine configurations.
+func WithWorkers(n int) Option {
+	return func(s *Segmenter) error {
+		if s.kind != NativeParallel {
+			return fmt.Errorf("regiongrow: WithWorkers applies only to NativeParallel, not %v", s.kind)
+		}
+		if n < 0 {
+			return fmt.Errorf("regiongrow: negative worker count %d", n)
+		}
+		s.eng = shmengine.NewWithWorkers(n)
+		return nil
+	}
+}
+
+// New constructs a reusable Segmenter for the engine kind. Options set
+// session defaults (tie policy, threshold, seed, square cap), the
+// progress observer, and buffer pooling; see the Option constructors.
+func New(kind EngineKind, opts ...Option) (*Segmenter, error) {
+	eng, err := NewEngine(kind)
+	if err != nil {
+		return nil, err
+	}
+	ce, ok := eng.(core.ContextEngine)
+	if !ok {
+		// Unreachable: every shipped engine is context-aware; the
+		// assertion guards future engine additions.
+		return nil, fmt.Errorf("regiongrow: engine %v does not support contexts", kind)
+	}
+	s := &Segmenter{kind: kind, eng: ce, pooling: true}
+	s.scratch.New = func() any { return new(core.Scratch) }
+	for _, opt := range opts {
+		if err := opt(s); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Kind returns the engine kind the session runs.
+func (s *Segmenter) Kind() EngineKind { return s.kind }
+
+// Engine exposes the underlying engine, mainly for Name.
+func (s *Segmenter) Engine() Engine { return s.eng }
+
+// effectiveConfig resolves a per-call Config against the session
+// defaults: a zero Config selects the defaults wholesale; otherwise the
+// call's fields win, except MaxSquare 0 (the "unset" value) falls back to
+// the session cap.
+func (s *Segmenter) effectiveConfig(cfg Config) Config {
+	if cfg == (Config{}) {
+		return s.defaults
+	}
+	if cfg.MaxSquare == 0 {
+		cfg.MaxSquare = s.defaults.MaxSquare
+	}
+	return cfg
+}
+
+// Segment runs one segmentation under the session's engine, defaults, and
+// observer. Cancelling ctx aborts the run within one split/merge
+// iteration and returns ctx.Err(); the segmentation is then nil. Results
+// are independent of pooling and identical to the package-level one-shots
+// for the same effective Config.
+func (s *Segmenter) Segment(ctx context.Context, im *Image, cfg Config) (*Segmentation, error) {
+	return s.SegmentObserved(ctx, im, cfg, s.observer)
+}
+
+// SegmentObserved is Segment with a per-call observer (nil falls back to
+// the session observer) — the hook a server uses to track per-job
+// progress while sharing one pooled Segmenter across requests.
+func (s *Segmenter) SegmentObserved(ctx context.Context, im *Image, cfg Config, obs Observer) (*Segmentation, error) {
+	if obs == nil {
+		obs = s.observer
+	}
+	run := core.Run{Observer: obs}
+	if s.pooling {
+		sc := s.scratch.Get().(*core.Scratch)
+		defer s.scratch.Put(sc)
+		run.Scratch = sc
+	}
+	return s.eng.SegmentContext(ctx, im, s.effectiveConfig(cfg), run)
+}
