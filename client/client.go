@@ -1,0 +1,446 @@
+// Package client is the typed Go SDK for the regiongrowd segmentation
+// service. It speaks the asynchronous job API — Submit enqueues a run,
+// Stream follows its stage events live over SSE, Wait blocks until the
+// terminal record, Cancel aborts it, and Batch fans a manifest out into
+// per-item jobs — plus the synchronous compatibility path (Recoloured).
+// The wire types in this package are the ones the server itself
+// serializes, so SDK and service cannot drift.
+//
+// The package depends only on the standard library and the regiongrow
+// facade. Every call takes a context; cancelling it abandons the HTTP
+// exchange (and, server-side, a disconnected synchronous request — async
+// jobs keep running until Cancel).
+//
+//	c, _ := client.New("http://localhost:8080")
+//	job, _ := c.Submit(ctx, client.JobRequest{
+//		PaperImage: "image3",
+//		Engine:     regiongrow.NativeParallel,
+//		Config:     regiongrow.Config{Threshold: 10, Tie: regiongrow.RandomTie, Seed: 1},
+//	})
+//	job, _ = c.Wait(ctx, job.ID)
+//	fmt.Println(job.Result.FinalRegions)
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"mime/multipart"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"regiongrow"
+)
+
+// Errors the SDK classifies out of HTTP statuses, for errors.Is.
+var (
+	// ErrNotFound reports an unknown (or already evicted) job ID.
+	ErrNotFound = errors.New("client: job not found")
+	// ErrBusy reports 429: the server's bounded job queue (or store) has
+	// no free slot right now; retry after a moment.
+	ErrBusy = errors.New("client: server busy")
+)
+
+// Client talks to one regiongrowd instance. It is safe for concurrent
+// use; construct with New.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// Option configures a Client at construction time.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the http.Client used for every exchange
+// (timeouts, transports, tracing). The default is a client with no
+// overall timeout, since Stream and Wait hold connections open for the
+// length of a job; bound calls with their contexts instead.
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// New builds a Client for the service at baseURL (scheme and host,
+// e.g. "http://localhost:8080").
+func New(baseURL string, opts ...Option) (*Client, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("client: bad base URL %q: %w", baseURL, err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return nil, fmt.Errorf("client: bad base URL %q (want http:// or https://)", baseURL)
+	}
+	if u.Host == "" {
+		return nil, fmt.Errorf("client: base URL %q has no host", baseURL)
+	}
+	c := &Client{base: strings.TrimRight(u.String(), "/"), hc: &http.Client{}}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c, nil
+}
+
+// JobRequest describes one segmentation to submit. Exactly one of
+// PaperImage (a server-side evaluation image by name) or Image (a raster
+// uploaded as binary PGM) must be set. Config is sent verbatim — every
+// field explicit on the wire — so the zero Config means threshold 0,
+// smallest-id ties, seed 0, the N/8 square cap; it does not adopt the
+// server's query-parameter defaults.
+type JobRequest struct {
+	PaperImage string
+	Image      *regiongrow.Image
+	Engine     regiongrow.EngineKind
+	Config     regiongrow.Config
+	// Labels asks the server to include the full label raster in the
+	// job's Result.
+	Labels bool
+}
+
+// configValues encodes the engine, config, and labels flag as query
+// parameters — the part of a request shared by every endpoint.
+func (r JobRequest) configValues() url.Values {
+	v := url.Values{}
+	v.Set("engine", r.Engine.String())
+	v.Set("threshold", strconv.Itoa(r.Config.Threshold))
+	v.Set("tie", r.Config.Tie.String())
+	v.Set("seed", strconv.FormatUint(r.Config.Seed, 10))
+	v.Set("maxsquare", strconv.Itoa(r.Config.MaxSquare))
+	if r.Labels {
+		v.Set("labels", "1")
+	}
+	return v
+}
+
+func (r JobRequest) values() (url.Values, error) {
+	if (r.PaperImage == "") == (r.Image == nil) {
+		return nil, errors.New("client: set exactly one of JobRequest.PaperImage and JobRequest.Image")
+	}
+	v := r.configValues()
+	if r.PaperImage != "" {
+		v.Set("image", r.PaperImage)
+	}
+	return v, nil
+}
+
+func (r JobRequest) body() (io.Reader, error) {
+	if r.Image == nil {
+		return nil, nil
+	}
+	var buf bytes.Buffer
+	if err := regiongrow.WritePGM(&buf, r.Image); err != nil {
+		return nil, fmt.Errorf("client: encoding upload: %w", err)
+	}
+	return &buf, nil
+}
+
+// do issues one request and returns the response after classifying
+// non-2xx statuses into errors (wrapping ErrNotFound and ErrBusy where
+// they apply). The caller owns the body on success.
+func (c *Client) do(req *http.Request) (*http.Response, error) {
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		return resp, nil
+	}
+	defer resp.Body.Close()
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+	detail := strings.TrimSpace(string(msg))
+	switch resp.StatusCode {
+	case http.StatusNotFound:
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, detail)
+	case http.StatusTooManyRequests:
+		return nil, fmt.Errorf("%w: %s", ErrBusy, detail)
+	default:
+		return nil, fmt.Errorf("client: %s: %s", resp.Status, detail)
+	}
+}
+
+func (c *Client) decodeJob(resp *http.Response) (*Job, error) {
+	defer resp.Body.Close()
+	var j Job
+	if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
+		return nil, fmt.Errorf("client: decoding job record: %w", err)
+	}
+	if j.APIVersion != APIVersion {
+		return nil, fmt.Errorf("client: server speaks job API %q, this SDK %q", j.APIVersion, APIVersion)
+	}
+	return &j, nil
+}
+
+// Submit enqueues one segmentation job and returns its freshly minted
+// record — state queued (or already done, when the result cache hits).
+func (c *Client) Submit(ctx context.Context, req JobRequest) (*Job, error) {
+	v, err := req.values()
+	if err != nil {
+		return nil, err
+	}
+	body, err := req.body()
+	if err != nil {
+		return nil, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/jobs?"+v.Encode(), body)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	return c.decodeJob(resp)
+}
+
+// Get fetches a job's current record. Unknown or TTL-evicted IDs return
+// an error wrapping ErrNotFound.
+func (c *Client) Get(ctx context.Context, id string) (*Job, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+url.PathEscape(id), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	return c.decodeJob(resp)
+}
+
+// Cancel asks the server to abort a job: its compute is cancelled within
+// one split/merge iteration (a queued job dies before computing at all).
+// The returned record is a snapshot that may still read running — follow
+// with Wait or Get for the terminal state. Cancelling a terminal job is
+// a no-op.
+func (c *Client) Cancel(ctx context.Context, id string) (*Job, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.base+"/v1/jobs/"+url.PathEscape(id), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	return c.decodeJob(resp)
+}
+
+// Stream follows a job's stage events live over SSE, invoking fn (when
+// non-nil) for each one — including a replay of events that fired before
+// the call — and returns the terminal job record carried by the final
+// done/failed/canceled event. Events arrive in engine emission order;
+// observers written for local Segmenter sessions plug in directly:
+//
+//	job, err := c.Stream(ctx, id, tracker.Observe)
+func (c *Client) Stream(ctx context.Context, id string, fn func(regiongrow.StageEvent)) (*Job, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+url.PathEscape(id)+"/events", nil)
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Accept", "text/event-stream")
+	resp, err := c.do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+
+	br := bufio.NewReader(resp.Body)
+	var name string
+	var data bytes.Buffer
+	dispatch := func() (*Job, error) {
+		defer func() { name = ""; data.Reset() }()
+		switch name {
+		case "stage":
+			var ev Event
+			if err := json.Unmarshal(data.Bytes(), &ev); err != nil {
+				return nil, fmt.Errorf("client: decoding stage event: %w", err)
+			}
+			if fn != nil {
+				fn(ev.StageEvent())
+			}
+			return nil, nil
+		case string(StateDone), string(StateFailed), string(StateCanceled):
+			var j Job
+			if err := json.Unmarshal(data.Bytes(), &j); err != nil {
+				return nil, fmt.Errorf("client: decoding terminal %s event: %w", name, err)
+			}
+			// Enforce the same schema-version gate as decodeJob, so Wait
+			// and Get agree on compatibility.
+			if j.APIVersion != APIVersion {
+				return nil, fmt.Errorf("client: server speaks job API %q, this SDK %q", j.APIVersion, APIVersion)
+			}
+			return &j, nil
+		default:
+			// Unknown event types are skipped, per the SSE contract.
+			return nil, nil
+		}
+	}
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			if err == io.EOF {
+				return nil, fmt.Errorf("client: event stream for job %s ended without a terminal event", id)
+			}
+			return nil, err
+		}
+		line = strings.TrimRight(line, "\r\n")
+		switch {
+		case line == "":
+			j, err := dispatch()
+			if err != nil || j != nil {
+				return j, err
+			}
+		case strings.HasPrefix(line, "event:"):
+			name = strings.TrimSpace(strings.TrimPrefix(line, "event:"))
+		case strings.HasPrefix(line, "data:"):
+			if data.Len() > 0 {
+				data.WriteByte('\n') // multi-line data concatenates per SSE
+			}
+			data.WriteString(strings.TrimPrefix(strings.TrimPrefix(line, "data:"), " "))
+		default:
+			// id: and comment lines carry nothing we need.
+		}
+	}
+}
+
+// Wait blocks until the job reaches a terminal state and returns its
+// final record. It prefers the SSE stream (no polling); if the stream
+// breaks it falls back to polling Get until ctx ends.
+func (c *Client) Wait(ctx context.Context, id string) (*Job, error) {
+	j, err := c.Stream(ctx, id, nil)
+	if err == nil {
+		return j, nil
+	}
+	if ctx.Err() != nil || errors.Is(err, ErrNotFound) {
+		return nil, err
+	}
+	for {
+		j, err := c.Get(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if j.State.Terminal() {
+			return j, nil
+		}
+		select {
+		case <-time.After(50 * time.Millisecond):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// Batch submits many paper-image jobs in one POST /v1/batch round trip
+// and returns one BatchResult per request, in order — a job ID to Wait
+// on, or the per-item error that kept it from being enqueued. Every
+// request must name a PaperImage; raster uploads batch via BatchImages.
+func (c *Client) Batch(ctx context.Context, reqs []JobRequest) ([]BatchResult, error) {
+	if len(reqs) == 0 {
+		return nil, errors.New("client: empty batch")
+	}
+	m := BatchManifest{Items: make([]BatchItem, len(reqs))}
+	for i, r := range reqs {
+		if r.PaperImage == "" {
+			return nil, fmt.Errorf("client: batch item %d has no PaperImage (upload rasters with BatchImages)", i)
+		}
+		threshold, seed := r.Config.Threshold, r.Config.Seed
+		m.Items[i] = BatchItem{
+			Image:     r.PaperImage,
+			Engine:    r.Engine.String(),
+			Threshold: &threshold,
+			Tie:       r.Config.Tie.String(),
+			Seed:      &seed,
+			MaxSquare: r.Config.MaxSquare,
+			Labels:    r.Labels,
+		}
+	}
+	body, err := json.Marshal(m)
+	if err != nil {
+		return nil, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/batch", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	return c.decodeBatch(hreq)
+}
+
+// BatchImages submits a multipart set of PGM rasters as one batch, all
+// sharing the engine, config, and labels flag of shared (whose PaperImage
+// and Image fields are ignored). Results come back in part order.
+func (c *Client) BatchImages(ctx context.Context, imgs []*regiongrow.Image, shared JobRequest) ([]BatchResult, error) {
+	if len(imgs) == 0 {
+		return nil, errors.New("client: empty batch")
+	}
+	var buf bytes.Buffer
+	mw := multipart.NewWriter(&buf)
+	for i, im := range imgs {
+		part, err := mw.CreateFormFile(fmt.Sprintf("pgm%d", i), fmt.Sprintf("pgm%d.pgm", i))
+		if err != nil {
+			return nil, err
+		}
+		if err := regiongrow.WritePGM(part, im); err != nil {
+			return nil, fmt.Errorf("client: encoding batch part %d: %w", i, err)
+		}
+	}
+	if err := mw.Close(); err != nil {
+		return nil, err
+	}
+	// Config travels in the query, rasters in the parts.
+	v := shared.configValues()
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/batch?"+v.Encode(), &buf)
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", mw.FormDataContentType())
+	return c.decodeBatch(hreq)
+}
+
+func (c *Client) decodeBatch(hreq *http.Request) ([]BatchResult, error) {
+	resp, err := c.do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var br BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		return nil, fmt.Errorf("client: decoding batch response: %w", err)
+	}
+	return br.Jobs, nil
+}
+
+// Recoloured segments via the synchronous /v1/segment compatibility path
+// and returns the server-rendered recoloured raster (every region painted
+// with the midpoint of its intensity interval) — what a CLI writes for
+// its -o flag. The synchronous path shares the job machinery and result
+// cache, so a Recoloured call after Wait on the same request is a cache
+// hit.
+func (c *Client) Recoloured(ctx context.Context, req JobRequest) (*regiongrow.Image, error) {
+	v, err := req.values()
+	if err != nil {
+		return nil, err
+	}
+	v.Set("format", "pgm")
+	body, err := req.body()
+	if err != nil {
+		return nil, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/segment?"+v.Encode(), body)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	im, err := regiongrow.ReadPGM(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("client: decoding recoloured PGM: %w", err)
+	}
+	return im, nil
+}

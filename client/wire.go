@@ -1,0 +1,183 @@
+package client
+
+import (
+	"time"
+
+	"regiongrow"
+)
+
+// APIVersion is the job-record schema version this package speaks; every
+// Job record carries it so clients can detect incompatible servers.
+const APIVersion = "v1"
+
+// JobState names one lifecycle state of an asynchronous segmentation job.
+// States advance queued → running → one of the three terminal states;
+// cache hits jump straight from queued to done without ever running.
+type JobState string
+
+// The job lifecycle states.
+const (
+	StateQueued   JobState = "queued"
+	StateRunning  JobState = "running"
+	StateDone     JobState = "done"
+	StateFailed   JobState = "failed"
+	StateCanceled JobState = "canceled"
+)
+
+// Terminal reports whether the state is final: a terminal job's record
+// never changes again.
+func (s JobState) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Job is the versioned wire record of one segmentation job — the JSON
+// document POST /v1/jobs and GET /v1/jobs/{id} answer with, and the data
+// of the terminal SSE event on GET /v1/jobs/{id}/events. The server
+// serializes this exact struct, so the SDK and the service can never
+// drift apart.
+type Job struct {
+	APIVersion string                `json:"api_version"`
+	ID         string                `json:"id"`
+	State      JobState              `json:"state"`
+	Engine     regiongrow.EngineKind `json:"engine"`
+	// Cache is "hit" when the job was answered from the result cache
+	// without computing, "miss" otherwise.
+	Cache    string     `json:"cache,omitempty"`
+	Image    ImageMeta  `json:"image"`
+	Config   ConfigMeta `json:"config"`
+	Progress Progress   `json:"progress"`
+
+	CreatedAt time.Time `json:"created_at"`
+	// StartedAt is set when compute begins (first stage event) and
+	// FinishedAt when the job reaches a terminal state.
+	StartedAt  time.Time `json:"started_at,omitzero"`
+	FinishedAt time.Time `json:"finished_at,omitzero"`
+
+	// Error describes why a failed or canceled job ended; empty on done.
+	Error string `json:"error,omitempty"`
+	// Result is set once State is done.
+	Result *Result `json:"result,omitempty"`
+}
+
+// ImageMeta echoes the segmented image: its paper-image name when it was
+// selected by name, and always its dimensions and content hash.
+type ImageMeta struct {
+	Name   string `json:"name,omitempty"`
+	Width  int    `json:"width"`
+	Height int    `json:"height"`
+	SHA256 string `json:"sha256"`
+}
+
+// ConfigMeta echoes the effective segmentation parameters. Tie round-trips
+// by name via its TextMarshaler.
+type ConfigMeta struct {
+	Threshold int                  `json:"threshold"`
+	Tie       regiongrow.TiePolicy `json:"tie"`
+	Seed      uint64               `json:"seed"`
+	MaxSquare int                  `json:"max_square"`
+}
+
+// Progress summarises how far a job's compute has got, fed by the typed
+// stage observers every engine emits. Stage is "queued", "split",
+// "graph", "merge", or "done"; the counters fill in as their stages
+// complete, and Merges accumulates over merge iterations.
+type Progress struct {
+	Stage           string `json:"stage"`
+	SplitIterations int    `json:"split_iterations,omitempty"`
+	Squares         int    `json:"squares,omitempty"`
+	MergeIteration  int    `json:"merge_iteration,omitempty"`
+	Merges          int    `json:"merges,omitempty"`
+}
+
+// Result carries a completed segmentation on the wire: the counters of
+// the paper's tables, wall (and, for simulated engines, machine-model)
+// stage times, per-region statistics, and — when the job was submitted
+// with labels — the full label raster.
+type Result struct {
+	FinalRegions      int                     `json:"final_regions"`
+	SplitIterations   int                     `json:"split_iterations"`
+	MergeIterations   int                     `json:"merge_iterations"`
+	SquaresAfterSplit int                     `json:"squares_after_split"`
+	SplitWallMs       float64                 `json:"split_wall_ms"`
+	MergeWallMs       float64                 `json:"merge_wall_ms"`
+	SplitSimSecs      float64                 `json:"split_sim_s,omitempty"`
+	MergeSimSecs      float64                 `json:"merge_sim_s,omitempty"`
+	Regions           []regiongrow.RegionStat `json:"regions"`
+	Labels            []int32                 `json:"labels,omitempty"`
+}
+
+// Event mirrors regiongrow.StageEvent on the wire: one typed stage event
+// of a running job, streamed as an `event: stage` SSE frame. Kind
+// round-trips by name ("split-start", "merge-iteration", …) via its
+// TextMarshaler.
+type Event struct {
+	Kind       regiongrow.EventKind `json:"kind"`
+	Iteration  int                  `json:"iteration,omitempty"`
+	Merges     int                  `json:"merges,omitempty"`
+	Iterations int                  `json:"iterations,omitempty"`
+	Squares    int                  `json:"squares,omitempty"`
+	Regions    int                  `json:"regions,omitempty"`
+}
+
+// WireEvent converts a facade stage event for transport.
+func WireEvent(ev regiongrow.StageEvent) Event {
+	return Event{
+		Kind:       ev.Kind,
+		Iteration:  ev.Iteration,
+		Merges:     ev.Merges,
+		Iterations: ev.Iterations,
+		Squares:    ev.Squares,
+		Regions:    ev.Regions,
+	}
+}
+
+// StageEvent converts back to the facade type, so observers written
+// against local Segmenter sessions work unchanged on streamed events.
+func (e Event) StageEvent() regiongrow.StageEvent {
+	return regiongrow.StageEvent{
+		Kind:       e.Kind,
+		Iteration:  e.Iteration,
+		Merges:     e.Merges,
+		Iterations: e.Iterations,
+		Squares:    e.Squares,
+		Regions:    e.Regions,
+	}
+}
+
+// BatchManifest is the JSON body of POST /v1/batch: N paper-image/config
+// pairs fanned out as one job each.
+type BatchManifest struct {
+	Items []BatchItem `json:"items"`
+}
+
+// BatchItem describes one batch entry. Omitted fields adopt the same
+// defaults as the /v1/jobs query parameters: engine sequential,
+// threshold 10, tie random, seed 1, maxsquare 0 (the paper's N/8 rule).
+// Engine and Tie are names as printed by their String methods.
+type BatchItem struct {
+	// Image names one of the paper's evaluation images ("image1" …
+	// "image6"); required in a JSON manifest. Multipart batches carry
+	// PGM rasters instead and leave manifests out entirely.
+	Image     string  `json:"image"`
+	Engine    string  `json:"engine,omitempty"`
+	Threshold *int    `json:"threshold,omitempty"`
+	Tie       string  `json:"tie,omitempty"`
+	Seed      *uint64 `json:"seed,omitempty"`
+	MaxSquare int     `json:"maxsquare,omitempty"`
+	Labels    bool    `json:"labels,omitempty"`
+}
+
+// BatchResponse answers POST /v1/batch: one entry per submitted item, in
+// manifest (or multipart part) order.
+type BatchResponse struct {
+	Jobs []BatchResult `json:"jobs"`
+}
+
+// BatchResult is one batch item's outcome: the ID of its enqueued job, or
+// the error that kept it from being enqueued (bad parameters, full
+// queue). Items fail independently — one bad item never voids the rest.
+type BatchResult struct {
+	Index int    `json:"index"`
+	ID    string `json:"id,omitempty"`
+	Error string `json:"error,omitempty"`
+}

@@ -5,8 +5,8 @@
 // Usage:
 //
 //	regiongrow [-engine E] [-threshold T] [-tie P] [-seed S]
-//	           [-maxsquare M] [-timeout D] [-o out.pgm] [-dot out.dot]
-//	           [-json out.json] input.pgm
+//	           [-maxsquare M] [-timeout D] [-server URL] [-o out.pgm]
+//	           [-dot out.dot] [-json out.json] input.pgm
 //
 // Engines: sequential (default), cm2-8k, cm2-16k, cm5-cmf, cm5-lp,
 // cm5-async, native. The CM engines additionally report simulated machine
@@ -14,6 +14,12 @@
 // workers). With -timeout, a run exceeding the duration is cancelled
 // (within one split/merge iteration) and the command exits non-zero
 // naming the stage it reached.
+//
+// With -server, the image is not segmented locally: it is uploaded to a
+// regiongrowd service at the given base URL through the regiongrow/client
+// SDK — submitted as an asynchronous job whose stage events stream back
+// over SSE — and the outputs are produced from the job's result. A
+// -timeout in server mode also cancels the remote job.
 package main
 
 import (
@@ -25,12 +31,15 @@ import (
 	"os"
 	"sort"
 	"sync/atomic"
+	"time"
 
 	"regiongrow"
+	"regiongrow/client"
 )
 
 // stageTracker remembers the latest stage event so a timeout message can
-// say how far the run got.
+// say how far the run got. It serves both the local observer hook and the
+// client SDK's streamed events — they are the same typed StageEvent.
 type stageTracker struct {
 	stage atomic.Value // string
 	iter  atomic.Int64
@@ -72,14 +81,15 @@ func main() {
 	seed := flag.Uint64("seed", 1, "random tie seed")
 	maxSquare := flag.Int("maxsquare", 0, "split square cap (0 = N/8 as in the paper, -1 = unbounded)")
 	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
+	serverURL := flag.String("server", "", "segment via a regiongrowd service at this base URL instead of a local engine")
 	out := flag.String("o", "", "write recoloured segmentation to this PGM path")
 	dotPath := flag.String("dot", "", "write the final region adjacency graph as Graphviz DOT")
 	jsonPath := flag.String("json", "", "write per-region statistics as JSON")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: regiongrow [-engine E] [-threshold T] [-tie P] [-seed S]")
-		fmt.Fprintln(os.Stderr, "                  [-maxsquare M] [-timeout D] [-o out.pgm] [-dot out.dot]")
-		fmt.Fprintln(os.Stderr, "                  [-json out.json] input.pgm")
+		fmt.Fprintln(os.Stderr, "                  [-maxsquare M] [-timeout D] [-server URL] [-o out.pgm]")
+		fmt.Fprintln(os.Stderr, "                  [-dot out.dot] [-json out.json] input.pgm")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -97,11 +107,6 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	tracker := &stageTracker{}
-	seg2, err := regiongrow.New(kind, regiongrow.WithObserver(tracker))
-	if err != nil {
-		log.Fatal(err)
-	}
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -109,6 +114,17 @@ func main() {
 		defer cancel()
 	}
 	cfg := regiongrow.Config{Threshold: *threshold, Tie: tie, Seed: *seed, MaxSquare: *maxSquare}
+
+	if *serverURL != "" {
+		runServer(ctx, *serverURL, kind, cfg, im, *timeout, *out, *dotPath, *jsonPath)
+		return
+	}
+
+	tracker := &stageTracker{}
+	seg2, err := regiongrow.New(kind, regiongrow.WithObserver(tracker))
+	if err != nil {
+		log.Fatal(err)
+	}
 	seg, err := seg2.Segment(ctx, im, cfg)
 	if errors.Is(err, context.DeadlineExceeded) {
 		log.Fatalf("timed out after %v during %s — raise -timeout or pick a faster engine", *timeout, tracker)
@@ -148,23 +164,96 @@ func main() {
 		fmt.Printf("wrote %s\n", *out)
 	}
 	if *dotPath != "" || *jsonPath != "" {
-		stats := regiongrow.ComputeRegionStats(seg, im)
-		if *dotPath != "" {
-			if err := writeFile(*dotPath, func(f *os.File) error {
-				return regiongrow.WriteRegionDOT(f, stats)
-			}); err != nil {
-				log.Fatal(err)
-			}
-			fmt.Printf("wrote %s\n", *dotPath)
+		writeRegionFiles(regiongrow.ComputeRegionStats(seg, im), *dotPath, *jsonPath)
+	}
+}
+
+// runServer is the -server mode: submit the image as an asynchronous job,
+// follow its stage events over SSE, and produce the same outputs from the
+// job's result. The recoloured PGM for -o is rendered by the server (a
+// cache hit, since the job just computed the same key).
+func runServer(ctx context.Context, baseURL string, kind regiongrow.EngineKind, cfg regiongrow.Config, im *regiongrow.Image, timeout time.Duration, out, dotPath, jsonPath string) {
+	c, err := client.New(baseURL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	req := client.JobRequest{Image: im, Engine: kind, Config: cfg}
+	sub, err := c.Submit(ctx, req)
+	if err != nil {
+		log.Fatalf("submitting to %s: %v", baseURL, err)
+	}
+	tracker := &stageTracker{}
+	job, err := c.Stream(ctx, sub.ID, tracker.Observe)
+	if errors.Is(err, context.DeadlineExceeded) {
+		// Cancel the remote job too: the deadline was ours, not the
+		// server's, and nobody is coming back for the result.
+		cctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_, _ = c.Cancel(cctx, sub.ID)
+		log.Fatalf("timed out after %v during %s — raise -timeout or pick a faster engine", timeout, tracker)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	if job.State != client.StateDone {
+		log.Fatalf("job %s %s: %s", job.ID, job.State, job.Error)
+	}
+	res := job.Result
+
+	fmt.Printf("engine: %s   image: %dx%d   T=%d   tie=%v   (served by %s, job %s)\n",
+		job.Engine, im.W, im.H, cfg.Threshold, cfg.Tie, baseURL, job.ID)
+	fmt.Printf("split: %d iterations, %d square regions (%.1f ms wall)\n",
+		res.SplitIterations, res.SquaresAfterSplit, res.SplitWallMs)
+	fmt.Printf("merge: %d iterations, %d final regions (%.1f ms wall)\n",
+		res.MergeIterations, res.FinalRegions, res.MergeWallMs)
+	if res.SplitSimSecs > 0 || res.MergeSimSecs > 0 {
+		fmt.Printf("simulated machine time: split %.3f s, merge %.3f s\n", res.SplitSimSecs, res.MergeSimSecs)
+	}
+
+	regions := append([]regiongrow.RegionStat{}, res.Regions...)
+	sort.Slice(regions, func(i, j int) bool { return regions[i].Area > regions[j].Area })
+	show := len(regions)
+	if show > 12 {
+		show = 12
+	}
+	fmt.Printf("largest %d regions:\n", show)
+	for _, r := range regions[:show] {
+		x, y := im.Coord(int(r.ID))
+		fmt.Printf("  region %7d at (%3d,%3d)  area %7d  intensity %v\n", r.ID, x, y, r.Area, r.IV())
+	}
+
+	if out != "" {
+		rec, err := c.Recoloured(ctx, req)
+		if err != nil {
+			log.Fatal(err)
 		}
-		if *jsonPath != "" {
-			if err := writeFile(*jsonPath, func(f *os.File) error {
-				return regiongrow.WriteRegionJSON(f, stats)
-			}); err != nil {
-				log.Fatal(err)
-			}
-			fmt.Printf("wrote %s\n", *jsonPath)
+		if err := regiongrow.SavePGM(out, rec); err != nil {
+			log.Fatal(err)
 		}
+		fmt.Printf("wrote %s\n", out)
+	}
+	if dotPath != "" || jsonPath != "" {
+		writeRegionFiles(res.Regions, dotPath, jsonPath)
+	}
+}
+
+// writeRegionFiles emits the optional DOT and JSON region outputs.
+func writeRegionFiles(stats []regiongrow.RegionStat, dotPath, jsonPath string) {
+	if dotPath != "" {
+		if err := writeFile(dotPath, func(f *os.File) error {
+			return regiongrow.WriteRegionDOT(f, stats)
+		}); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", dotPath)
+	}
+	if jsonPath != "" {
+		if err := writeFile(jsonPath, func(f *os.File) error {
+			return regiongrow.WriteRegionJSON(f, stats)
+		}); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
 	}
 }
 

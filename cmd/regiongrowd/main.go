@@ -7,26 +7,44 @@
 //
 //	regiongrowd [-addr :8080] [-workers N] [-queue D] [-cache E]
 //	            [-maxbody BYTES] [-drain TIMEOUT] [-timeout D] [-warm]
+//	            [-jobcap N] [-jobttl D]
 //
 // Endpoints:
 //
-//	POST /v1/segment?engine=E&threshold=T&tie=P&seed=S&maxsquare=M
-//	                &image=NAME&format=json|pgm&labels=1
-//	GET  /v1/stats     queue depth, in-flight jobs, cache hit/miss and
-//	                   cancellation counters, per-stage progress gauges,
-//	                   per-engine latency histograms
-//	GET  /healthz      liveness
+//	POST   /v1/jobs?engine=E&threshold=T&tie=P&seed=S&maxsquare=M
+//	                &image=NAME&labels=1
+//	                   enqueue an asynchronous job; answers 202 with its
+//	                   versioned record (ID, state, progress)
+//	GET    /v1/jobs/{id}          current job record; result once done
+//	GET    /v1/jobs/{id}/events   the job's stage events as SSE, replay
+//	                              then live, ending in done/failed/canceled
+//	DELETE /v1/jobs/{id}          cancel: compute aborts within one
+//	                              split/merge iteration
+//	POST   /v1/batch   fan a JSON manifest (paper-image/config pairs) or
+//	                   a multipart set of PGMs out as one job per item;
+//	                   answers per-item job IDs
+//	POST   /v1/segment?…&format=json|pgm
+//	                   the synchronous compatibility path, implemented on
+//	                   the same job machinery
+//	GET    /v1/stats   job-store and queue depth, in-flight jobs, cache
+//	                   hit/miss and cancellation counters, per-stage
+//	                   progress gauges, per-engine latency histograms
+//	GET    /healthz    liveness
 //
-// The body of POST /v1/segment is a P2/P5 PGM; with ?image=image1…image6
-// the body is ignored and the named paper image is segmented instead. When
-// the job queue is full the server answers 429 rather than queueing
-// unboundedly. With -timeout, a request whose compute exceeds the deadline
-// is answered 504 naming the stage it reached, and the compute is
-// cancelled within one split/merge iteration — as it also is when the
-// client disconnects, unless -warm keeps abandoned jobs running to warm
-// the result cache. On SIGINT/SIGTERM the server stops accepting
-// connections, drains in-flight requests (up to -drain), then drains the
-// worker pool and exits.
+// The body of POST /v1/segment and /v1/jobs is a P2/P5 PGM; with
+// ?image=image1…image6 the body is ignored and the named paper image is
+// segmented instead. When the job queue (or the -jobcap record store) is
+// full the server answers 429 rather than queueing unboundedly; finished
+// job records stay retrievable for -jobttl. With -timeout, a synchronous
+// request whose compute exceeds the deadline is answered 504 naming the
+// stage it reached, an asynchronous job is failed with the same error,
+// and the compute is cancelled within one split/merge iteration — as it
+// also is when a synchronous client disconnects, unless -warm keeps
+// abandoned jobs running to warm the result cache. On SIGINT/SIGTERM the
+// server stops accepting connections, drains in-flight requests (up to
+// -drain), then drains the worker pool and exits.
+//
+// The regiongrow/client package is the typed Go SDK for this service.
 package main
 
 import (
@@ -55,9 +73,11 @@ func main() {
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
 	timeout := flag.Duration("timeout", 0, "per-request compute deadline; exceeding it answers 504 with the stage reached (0 = no limit)")
 	warm := flag.Bool("warm", false, "keep computing abandoned jobs (disconnect or deadline) so results still warm the cache")
+	jobCap := flag.Int("jobcap", 1024, "job record store capacity (full store of unfinished jobs answers 429)")
+	jobTTL := flag.Duration("jobttl", 15*time.Minute, "how long finished job records stay retrievable")
 	flag.Parse()
 	if flag.NArg() != 0 {
-		fmt.Fprintln(os.Stderr, "usage: regiongrowd [-addr :8080] [-workers N] [-queue D] [-cache E] [-maxbody BYTES] [-drain TIMEOUT] [-timeout D] [-warm]")
+		fmt.Fprintln(os.Stderr, "usage: regiongrowd [-addr :8080] [-workers N] [-queue D] [-cache E] [-maxbody BYTES] [-drain TIMEOUT] [-timeout D] [-warm] [-jobcap N] [-jobttl D]")
 		os.Exit(2)
 	}
 
@@ -68,6 +88,8 @@ func main() {
 		MaxBodyBytes:   *maxBody,
 		RequestTimeout: *timeout,
 		WarmAbandoned:  *warm,
+		JobCapacity:    *jobCap,
+		JobTTL:         *jobTTL,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,

@@ -37,22 +37,7 @@ func RunExperimentContext(ctx context.Context, id PaperImageID, cfg Config) (Exp
 		if err != nil {
 			return exp, err
 		}
-		runCfg := cfg
-		if runCfg.Tie == RandomTie {
-			// Rows that run the same program share random draws — the
-			// paper executed one CM Fortran binary on the CM-2s and the
-			// CM-5, and one F77+CMMD binary under both schemes — so
-			// derive the seed from the programming model, not the
-			// machine. Iteration counts then vary between models (as in
-			// the paper's tables) while same-program rows stay
-			// comparable.
-			mc, _ := kind.MachineConfig()
-			model := uint64(1)
-			if mc.IsMessagePassing() {
-				model = 2
-			}
-			runCfg.Seed = cfg.Seed*1000003 + model
-		}
+		runCfg := ExperimentConfig(kind, cfg)
 		seg, err := eng.Segment(ctx, im, runCfg)
 		if err != nil {
 			return exp, fmt.Errorf("regiongrow: %v on %v: %w", kind, id, err)
@@ -74,6 +59,32 @@ func RunExperimentContext(ctx context.Context, id PaperImageID, cfg Config) (Exp
 		exp.FinalRegions = seg.FinalRegions
 	}
 	return exp, nil
+}
+
+// ExperimentConfig returns the exact per-row Config RunExperiment uses
+// for an engine kind. Rows that run the same program share random draws —
+// the paper executed one CM Fortran binary on the CM-2s and the CM-5, and
+// one F77+CMMD binary under both schemes — so under the Random tie policy
+// the seed is derived from the kind's programming model, not the machine:
+// iteration counts then vary between models (as in the paper's tables)
+// while same-program rows stay comparable. Deterministic ties, and kinds
+// that model no machine, use cfg unchanged. Remote row sources
+// (cmd/benchtab -server) apply it so client-driven experiments match
+// local ones row for row.
+func ExperimentConfig(kind EngineKind, cfg Config) Config {
+	if cfg.Tie != RandomTie {
+		return cfg
+	}
+	mc, ok := kind.MachineConfig()
+	if !ok {
+		return cfg
+	}
+	model := uint64(1)
+	if mc.IsMessagePassing() {
+		model = 2
+	}
+	cfg.Seed = cfg.Seed*1000003 + model
+	return cfg
 }
 
 // NativeRow runs the native shared-memory engine on one paper image and

@@ -46,6 +46,36 @@ func (k EventKind) String() string {
 	}
 }
 
+// allEventKinds lists every stage event kind, in emission order — the
+// single range both text-marshaling directions walk.
+var allEventKinds = [...]EventKind{EventSplitStart, EventSplitDone,
+	EventGraphDone, EventMergeIteration, EventMergeDone}
+
+// MarshalText implements encoding.TextMarshaler with the String name, so
+// wire event records carry "split-done" rather than a bare integer.
+// Unknown kinds fail rather than emitting a name UnmarshalText would
+// reject.
+func (k EventKind) MarshalText() ([]byte, error) {
+	for _, c := range allEventKinds {
+		if k == c {
+			return []byte(k.String()), nil
+		}
+	}
+	return nil, fmt.Errorf("core: cannot marshal unknown event kind %d", int(k))
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler over the String
+// names.
+func (k *EventKind) UnmarshalText(text []byte) error {
+	for _, c := range allEventKinds {
+		if c.String() == string(text) {
+			*k = c
+			return nil
+		}
+	}
+	return fmt.Errorf("core: unknown event kind %q", text)
+}
+
 // StageEvent is one progress event emitted by an engine during a run.
 // Fields beyond Kind are populated per kind; see the EventKind constants.
 type StageEvent struct {

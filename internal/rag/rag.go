@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"slices"
 	"sort"
+	"strings"
 
 	"regiongrow/internal/homog"
 	"regiongrow/internal/pixmap"
@@ -39,6 +40,32 @@ func (p TiePolicy) String() string {
 	default:
 		return fmt.Sprintf("TiePolicy(%d)", int(p))
 	}
+}
+
+// MarshalText implements encoding.TextMarshaler with the String name, so
+// JSON wire types and flag packages round-trip policies without ad-hoc
+// switches. Unknown policies fail rather than emitting a name
+// UnmarshalText would reject.
+func (p TiePolicy) MarshalText() ([]byte, error) {
+	switch p {
+	case SmallestID, LargestID, Random:
+		return []byte(p.String()), nil
+	default:
+		return nil, fmt.Errorf("rag: cannot marshal unknown tie policy %d", int(p))
+	}
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler: it accepts the
+// String names case-insensitively, matching the facade's ParseTiePolicy
+// (which delegates here).
+func (p *TiePolicy) UnmarshalText(text []byte) error {
+	for _, c := range []TiePolicy{SmallestID, LargestID, Random} {
+		if strings.EqualFold(c.String(), string(text)) {
+			*p = c
+			return nil
+		}
+	}
+	return fmt.Errorf("rag: unknown tie policy %q (want random, smallest-id, or largest-id)", text)
 }
 
 // NoChoice marks a vertex with no mergeable neighbour.

@@ -6,48 +6,28 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/url"
 	"strconv"
 
 	"regiongrow"
+	"regiongrow/client"
 )
 
-// segmentResponse is the JSON document returned by POST /v1/segment.
+// segmentResponse is the JSON document returned by POST /v1/segment. Its
+// meta blocks are the same wire structs the job records use (the typed
+// Tie and the shared image meta marshal to identical JSON, so the
+// response stays byte-compatible across the job-API redesign — pinned by
+// test).
 type segmentResponse struct {
-	Engine string        `json:"engine"`
-	Cache  string        `json:"cache"` // "hit" or "miss"
-	Image  imageMeta     `json:"image"`
-	Config configMeta    `json:"config"`
-	Result segmentResult `json:"result"`
+	Engine string            `json:"engine"`
+	Cache  string            `json:"cache"` // "hit" or "miss"
+	Image  client.ImageMeta  `json:"image"`
+	Config client.ConfigMeta `json:"config"`
+	Result client.Result     `json:"result"`
 }
 
-type imageMeta struct {
-	Name   string `json:"name,omitempty"` // set for paper images
-	Width  int    `json:"width"`
-	Height int    `json:"height"`
-	SHA256 string `json:"sha256"`
-}
-
-type configMeta struct {
-	Threshold int    `json:"threshold"`
-	Tie       string `json:"tie"`
-	Seed      uint64 `json:"seed"`
-	MaxSquare int    `json:"max_square"`
-}
-
-type segmentResult struct {
-	FinalRegions      int                     `json:"final_regions"`
-	SplitIterations   int                     `json:"split_iterations"`
-	MergeIterations   int                     `json:"merge_iterations"`
-	SquaresAfterSplit int                     `json:"squares_after_split"`
-	SplitWallMs       float64                 `json:"split_wall_ms"`
-	MergeWallMs       float64                 `json:"merge_wall_ms"`
-	SplitSimSecs      float64                 `json:"split_sim_s,omitempty"`
-	MergeSimSecs      float64                 `json:"merge_sim_s,omitempty"`
-	Regions           []regiongrow.RegionStat `json:"regions"`
-	Labels            []int32                 `json:"labels,omitempty"`
-}
-
-// segmentRequest is a parsed and validated /v1/segment request.
+// segmentRequest is a parsed and validated segmentation request — the
+// common currency of /v1/segment, /v1/jobs, and /v1/batch.
 type segmentRequest struct {
 	im        *regiongrow.Image
 	imageName string
@@ -57,8 +37,9 @@ type segmentRequest struct {
 	labels    bool
 }
 
-func (s *Server) parseSegmentRequest(r *http.Request) (*segmentRequest, error) {
-	q := r.URL.Query()
+// parseSegmentParams parses the query parameters shared by every
+// submission endpoint, leaving image resolution to the caller.
+func (s *Server) parseSegmentParams(q url.Values) (*segmentRequest, error) {
 	req := &segmentRequest{
 		cfg:    regiongrow.Config{Threshold: 10, Tie: regiongrow.RandomTie, Seed: 1},
 		kind:   regiongrow.SequentialEngine,
@@ -99,14 +80,23 @@ func (s *Server) parseSegmentRequest(r *http.Request) (*segmentRequest, error) {
 		return nil, fmt.Errorf("bad format %q (want json or pgm)", v)
 	}
 	req.labels = q.Get("labels") == "1"
+	req.imageName = q.Get("image")
+	return req, nil
+}
 
-	if name := q.Get("image"); name != "" {
-		id, err := regiongrow.ParsePaperImageID(name)
+// parseSegmentRequest parses a full submission: the shared parameters
+// plus the image, resolved from the paper-image name or the PGM body.
+func (s *Server) parseSegmentRequest(r *http.Request) (*segmentRequest, error) {
+	req, err := s.parseSegmentParams(r.URL.Query())
+	if err != nil {
+		return nil, err
+	}
+	if req.imageName != "" {
+		id, err := regiongrow.ParsePaperImageID(req.imageName)
 		if err != nil {
 			return nil, err
 		}
 		req.im = regiongrow.GeneratePaperImage(id)
-		req.imageName = name
 		return req, nil
 	}
 	im, err := regiongrow.ReadPGM(r.Body)
@@ -136,55 +126,101 @@ func (s *Server) handleSegment(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	imageHash := regiongrow.HashImage(req.im)
-	key := regiongrow.CacheKeyForHash(imageHash, req.im.W, req.im.H, req.cfg, req.kind)
-	seg, hit := s.cache.Get(key)
-	if !hit {
-		ctx := r.Context()
-		if s.opts.RequestTimeout > 0 {
-			var cancel context.CancelFunc
-			ctx, cancel = context.WithTimeout(ctx, s.opts.RequestTimeout)
-			defer cancel()
+	// The synchronous path is a thin waiter over the same job machinery
+	// /v1/jobs runs on: register a record, enqueue the compute, block on
+	// the terminal signal. Only the context wiring differs — the job
+	// shares the request context (plus the optional deadline), so a
+	// disconnect cancels the compute within one iteration unless the
+	// warm-abandoned policy detaches it.
+	var waitCtx context.Context
+	var cancel context.CancelFunc
+	if s.opts.RequestTimeout > 0 {
+		waitCtx, cancel = context.WithTimeout(r.Context(), s.opts.RequestTimeout)
+	} else {
+		waitCtx, cancel = context.WithCancel(r.Context())
+	}
+	defer cancel()
+	runCtx := waitCtx
+	if s.opts.WarmAbandoned {
+		runCtx = context.WithoutCancel(waitCtx)
+	}
+	// The record carries the real cancel, so a DELETE on the (normally
+	// unrevealed) job ID aborts a non-warm synchronous compute just like
+	// an async one. The job's monitor also fires it on completion, which
+	// is why the wait below re-checks the terminal signal before
+	// classifying a context wake-up.
+	e, err := s.startJob(runCtx, cancel, req, true)
+	switch {
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrStoreFull):
+		s.metrics.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "job queue full, retry later", http.StatusTooManyRequests)
+		return
+	case errors.Is(err, ErrClosed):
+		s.metrics.failed.Add(1)
+		http.Error(w, "server shutting down", http.StatusServiceUnavailable)
+		return
+	case err != nil:
+		s.metrics.failed.Add(1)
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+
+	deadline504 := func() {
+		// The per-request deadline fired. Unless WarmAbandoned keeps the
+		// job running, the compute has been cancelled within one
+		// split/merge iteration; tell the client how far it got.
+		s.metrics.canceledDeadline.Add(1)
+		http.Error(w, fmt.Sprintf("deadline exceeded after %v during %s",
+			s.opts.RequestTimeout, e.tracker.StageString()), http.StatusGatewayTimeout)
+	}
+	defer e.release()
+	terminal := false
+	select {
+	case <-e.waitTerminal():
+		terminal = true
+	case <-waitCtx.Done():
+		// The monitor cancels waitCtx right after completing the record,
+		// so both channels may be ready; prefer the result over a
+		// spurious timeout/disconnect classification.
+		select {
+		case <-e.waitTerminal():
+			terminal = true
+		default:
 		}
-		tracker := newJobTracker(&s.metrics.progress)
-		seg, err = s.pool.Submit(ctx, key, req.im, req.cfg, req.kind, tracker)
+	}
+	var seg *regiongrow.Segmentation
+	if terminal {
+		var jobErr error
+		seg, jobErr = e.outcome()
 		switch {
-		case errors.Is(err, ErrQueueFull):
-			s.metrics.rejected.Add(1)
-			w.Header().Set("Retry-After", "1")
-			http.Error(w, "job queue full, retry later", http.StatusTooManyRequests)
+		case jobErr == nil:
+		case errors.Is(jobErr, context.DeadlineExceeded):
+			deadline504()
 			return
-		case errors.Is(err, context.DeadlineExceeded):
-			// The per-request deadline fired. Unless WarmAbandoned keeps
-			// it running, the compute has been cancelled within one
-			// split/merge iteration; tell the client how far it got.
-			s.metrics.canceledDeadline.Add(1)
-			http.Error(w, fmt.Sprintf("deadline exceeded after %v during %s",
-				s.opts.RequestTimeout, tracker.StageString()), http.StatusGatewayTimeout)
-			return
-		case errors.Is(err, context.Canceled):
+		case errors.Is(jobErr, context.Canceled):
 			// The client went away. Nobody is listening for this
 			// response, and it is not a server failure; under
 			// WarmAbandoned the job still completes on its worker and
 			// warms the cache via the pool callback.
 			s.metrics.canceledDisconnect.Add(1)
 			return
-		case errors.Is(err, ErrClosed):
+		default:
 			s.metrics.failed.Add(1)
-			http.Error(w, "server shutting down", http.StatusServiceUnavailable)
-			return
-		case err != nil:
-			s.metrics.failed.Add(1)
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+			http.Error(w, jobErr.Error(), http.StatusInternalServerError)
 			return
 		}
+	} else {
+		if errors.Is(waitCtx.Err(), context.DeadlineExceeded) {
+			deadline504()
+			return
+		}
+		s.metrics.canceledDisconnect.Add(1)
+		return
 	}
 	s.metrics.served.Add(1)
 
-	cacheState := "miss"
-	if hit {
-		cacheState = "hit"
-	}
+	cacheState := e.cache
 	if req.format == "pgm" {
 		w.Header().Set("Content-Type", "image/x-portable-graymap")
 		w.Header().Set("X-Cache", cacheState)
@@ -199,19 +235,19 @@ func (s *Server) handleSegment(w http.ResponseWriter, r *http.Request) {
 	resp := segmentResponse{
 		Engine: req.kind.String(),
 		Cache:  cacheState,
-		Image: imageMeta{
+		Image: client.ImageMeta{
 			Name:   req.imageName,
 			Width:  req.im.W,
 			Height: req.im.H,
-			SHA256: imageHash,
+			SHA256: e.imageHash,
 		},
-		Config: configMeta{
+		Config: client.ConfigMeta{
 			Threshold: req.cfg.Threshold,
-			Tie:       req.cfg.Tie.String(),
+			Tie:       req.cfg.Tie,
 			Seed:      req.cfg.Seed,
 			MaxSquare: req.cfg.MaxSquare,
 		},
-		Result: segmentResult{
+		Result: client.Result{
 			FinalRegions:      seg.FinalRegions,
 			SplitIterations:   seg.SplitIterations,
 			MergeIterations:   seg.MergeIterations,

@@ -1,0 +1,436 @@
+package server
+
+import (
+	"container/list"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"regiongrow"
+	"regiongrow/client"
+)
+
+// ErrStoreFull is returned by jobStore.add when every slot is held by a
+// job that has not finished yet — nothing is evictable, so the submission
+// must be rejected (the HTTP layer answers 429, the same backpressure
+// signal as a full queue).
+var ErrStoreFull = errors.New("server: job store full")
+
+// jobEntry is one job's record and broadcast hub: the engine's stage
+// observer appends wire events to it, SSE subscribers replay and follow
+// them, and the terminal state is what GET /v1/jobs/{id} serves. Entries
+// live in the Server's jobStore until TTL eviction.
+//
+// Locking: fields under mu change on the worker (observe, complete) and
+// are read by handlers; created and the request-echo fields are immutable
+// after construction. finished and state are additionally written only
+// while the store's lock is also held, so the store can read them during
+// eviction sweeps without taking every entry's lock.
+type jobEntry struct {
+	id      string
+	created time.Time
+	// cancel aborts the job's compute; DELETE /v1/jobs/{id} calls it.
+	// Never nil (cache-hit jobs get a no-op derivative).
+	cancel context.CancelFunc
+	// tracker feeds the server-wide per-stage gauges; handlers use its
+	// StageString for 504 responses on the synchronous path.
+	tracker *jobTracker
+	// doneEl is the entry's position in the store's eviction list once
+	// terminal; guarded by the store's lock, not mu.
+	doneEl *list.Element
+
+	// Request echo, immutable after construction.
+	kind      regiongrow.EngineKind
+	cfg       regiongrow.Config
+	imageName string
+	imageHash string
+	w, h      int
+	labels    bool
+
+	// internal marks records registered by the synchronous path: their
+	// IDs are never revealed to a client, so no one will ever read their
+	// wire Result — complete skips building it and drops the retained
+	// image immediately, keeping /v1/segment's memory (and its cache-hit
+	// throughput) what it was before the job machinery existed.
+	internal bool
+
+	mu    sync.Mutex
+	state client.JobState
+	cache string // "miss", flipped to "hit" when answered from cache
+	// events are the recorded stage events, in emission order; changed is
+	// closed and replaced on every append and on completion, which is how
+	// SSE subscribers follow the log without ever blocking the producer.
+	events  []client.Event
+	changed chan struct{}
+	// terminalc closes exactly once, when the job reaches a terminal
+	// state; the synchronous path waits on it.
+	terminalc chan struct{}
+	started   time.Time
+	finished  time.Time
+	// seg is held from completion until the synchronous waiter has read
+	// it (release) — async records drop it as soon as the wire Result is
+	// built, so a terminal record pins only its wire form.
+	seg *regiongrow.Segmentation
+	err error
+	// im is retained only while the job can still need region statistics:
+	// complete drops it for every terminal state.
+	im     *regiongrow.Image
+	result *client.Result
+	// terminalJSON is the compact record snapshot frozen for the terminal
+	// SSE event, so every subscriber sees identical bytes.
+	terminalJSON []byte
+	// Progress accumulators fed by observe.
+	stage                             string
+	splitIters, squares               int
+	mergeIter, mergesTotal, finalRegs int
+}
+
+// newJobID mints an opaque, unguessable job identifier.
+func newJobID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(err) // crypto/rand never fails on supported platforms
+	}
+	return "job-" + hex.EncodeToString(b[:])
+}
+
+func newJobEntry(req *segmentRequest, imageHash string, cancel context.CancelFunc, tracker *jobTracker) *jobEntry {
+	return &jobEntry{
+		id:        newJobID(),
+		created:   time.Now(),
+		cancel:    cancel,
+		tracker:   tracker,
+		kind:      req.kind,
+		cfg:       req.cfg,
+		imageName: req.imageName,
+		imageHash: imageHash,
+		w:         req.im.W,
+		h:         req.im.H,
+		labels:    req.labels,
+		state:     client.StateQueued,
+		cache:     "miss",
+		stage:     "queued",
+		changed:   make(chan struct{}),
+		terminalc: make(chan struct{}),
+		im:        req.im,
+	}
+}
+
+// bumpLocked wakes every follower of the event log. Callers hold mu.
+func (e *jobEntry) bumpLocked() {
+	close(e.changed)
+	e.changed = make(chan struct{})
+}
+
+// observe records one engine stage event: the first one flips the record
+// to running, each updates the progress accumulators, and followers are
+// woken. It runs on the compute goroutine, so it must not block beyond
+// the short critical section.
+func (e *jobEntry) observe(ev regiongrow.StageEvent) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.state == client.StateQueued {
+		e.state = client.StateRunning
+		e.started = time.Now()
+	}
+	switch ev.Kind {
+	case regiongrow.EventSplitStart:
+		e.stage = "split"
+	case regiongrow.EventSplitDone:
+		e.stage = "graph"
+		e.splitIters = ev.Iterations
+		e.squares = ev.Squares
+	case regiongrow.EventGraphDone:
+		e.stage = "merge"
+	case regiongrow.EventMergeIteration:
+		e.mergeIter = ev.Iteration
+		e.mergesTotal += ev.Merges
+	case regiongrow.EventMergeDone:
+		e.stage = "done"
+		e.finalRegs = ev.Regions
+	}
+	e.events = append(e.events, client.WireEvent(ev))
+	e.bumpLocked()
+}
+
+// waitTerminal exposes the terminal signal to handlers.
+func (e *jobEntry) waitTerminal() <-chan struct{} { return e.terminalc }
+
+// outcome returns the compute result once terminal.
+func (e *jobEntry) outcome() (*regiongrow.Segmentation, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.seg, e.err
+}
+
+// buildResult derives the wire Result (region statistics, label raster
+// if requested) of a completed segmentation.
+func buildResult(seg *regiongrow.Segmentation, im *regiongrow.Image, labels bool) *client.Result {
+	r := &client.Result{
+		FinalRegions:      seg.FinalRegions,
+		SplitIterations:   seg.SplitIterations,
+		MergeIterations:   seg.MergeIterations,
+		SquaresAfterSplit: seg.SquaresAfterSplit,
+		SplitWallMs:       seg.SplitWall.Seconds() * 1e3,
+		MergeWallMs:       seg.MergeWall.Seconds() * 1e3,
+		SplitSimSecs:      seg.SplitSim,
+		MergeSimSecs:      seg.MergeSim,
+		Regions:           regiongrow.ComputeRegionStats(seg, im),
+	}
+	if labels {
+		r.Labels = seg.Labels
+	}
+	return r
+}
+
+// snapshotLocked builds the wire record. Callers hold mu.
+func (e *jobEntry) snapshotLocked() client.Job {
+	j := client.Job{
+		APIVersion: client.APIVersion,
+		ID:         e.id,
+		State:      e.state,
+		Engine:     e.kind,
+		Cache:      e.cache,
+		Image: client.ImageMeta{
+			Name:   e.imageName,
+			Width:  e.w,
+			Height: e.h,
+			SHA256: e.imageHash,
+		},
+		Config: client.ConfigMeta{
+			Threshold: e.cfg.Threshold,
+			Tie:       e.cfg.Tie,
+			Seed:      e.cfg.Seed,
+			MaxSquare: e.cfg.MaxSquare,
+		},
+		Progress: client.Progress{
+			Stage:           e.stage,
+			SplitIterations: e.splitIters,
+			Squares:         e.squares,
+			MergeIteration:  e.mergeIter,
+			Merges:          e.mergesTotal,
+		},
+		CreatedAt:  e.created,
+		StartedAt:  e.started,
+		FinishedAt: e.finished,
+		Result:     e.result,
+	}
+	if e.err != nil {
+		j.Error = e.err.Error()
+	}
+	return j
+}
+
+// snapshot returns the job's current wire record.
+func (e *jobEntry) snapshot() client.Job {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.snapshotLocked()
+}
+
+// release drops the segmentation once the synchronous waiter has served
+// it, so a sync record pins nothing beyond its wire form for the TTL.
+func (e *jobEntry) release() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.seg = nil
+}
+
+// terminalFrame returns the SSE terminal event name and its frozen data
+// bytes. Valid only once terminal.
+func (e *jobEntry) terminalFrame() (name string, data []byte) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.terminalJSON == nil {
+		e.terminalJSON, _ = json.Marshal(e.snapshotLocked())
+	}
+	return string(e.state), e.terminalJSON
+}
+
+// jobStore is the bounded in-memory registry of job records. Terminal
+// records are evicted when they age past the TTL (swept lazily on every
+// add and lookup) or, at capacity, oldest-finished-first to make room for
+// new submissions; records that have not finished are never evicted — if
+// the store is full of them, add rejects with ErrStoreFull. Both
+// rejection paths surface as 429 to clients, mirroring the pool queue's
+// backpressure.
+type jobStore struct {
+	ttl time.Duration
+	cap int
+
+	mu   sync.Mutex
+	byID map[string]*jobEntry
+	// done orders terminal entries oldest-finished-first: the TTL sweep
+	// pops from the front, as does capacity eviction.
+	done *list.List
+
+	submitted atomic.Int64
+	evicted   atomic.Int64
+}
+
+func newJobStore(capacity int, ttl time.Duration) *jobStore {
+	return &jobStore{
+		ttl:  ttl,
+		cap:  capacity,
+		byID: make(map[string]*jobEntry),
+		done: list.New(),
+	}
+}
+
+// add registers a fresh entry, sweeping expired records first and
+// evicting the oldest terminal record if the store is at capacity.
+func (st *jobStore) add(e *jobEntry) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.sweepLocked(time.Now())
+	if len(st.byID) >= st.cap {
+		front := st.done.Front()
+		if front == nil {
+			return ErrStoreFull
+		}
+		st.evictLocked(front.Value.(*jobEntry))
+	}
+	st.byID[e.id] = e
+	st.submitted.Add(1)
+	return nil
+}
+
+// remove deregisters an entry that never reached the pool (enqueue
+// failed), so phantom queued records don't linger.
+func (st *jobStore) remove(e *jobEntry) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	delete(st.byID, e.id)
+	st.submitted.Add(-1)
+}
+
+// get looks an entry up after sweeping expired records, so an evictable
+// record is never served.
+func (st *jobStore) get(id string) (*jobEntry, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.sweepLocked(time.Now())
+	e, ok := st.byID[id]
+	return e, ok
+}
+
+// complete transitions an entry to its terminal state, classifies the
+// error (cancelled contexts read as canceled, deadline expiry and engine
+// errors as failed), freezes the record, wakes all followers, and files
+// the entry for TTL eviction. The retained image never outlives this
+// call: successful public jobs have their wire Result (which needs the
+// pixels for region statistics) built here — off-lock, since the inputs
+// are settled — and every other terminal record drops the image unused.
+func (st *jobStore) complete(e *jobEntry, seg *regiongrow.Segmentation, err error) {
+	var result *client.Result
+	if err == nil && seg != nil && !e.internal {
+		result = buildResult(seg, e.im, e.labels)
+	}
+	now := time.Now()
+	st.mu.Lock()
+	e.mu.Lock()
+	e.seg, e.err = seg, err
+	e.result = result
+	e.im = nil
+	if result != nil {
+		// Async records serve the wire form only; the raw segmentation
+		// would just pin label arrays past the cache's own bounds.
+		e.seg = nil
+	}
+	e.finished = now
+	switch {
+	case err == nil:
+		e.state = client.StateDone
+		e.stage = "done"
+	case errors.Is(err, context.Canceled):
+		e.state = client.StateCanceled
+	default:
+		e.state = client.StateFailed
+	}
+	close(e.terminalc)
+	e.bumpLocked()
+	e.mu.Unlock()
+	if _, ok := st.byID[e.id]; ok {
+		e.doneEl = st.done.PushBack(e)
+	}
+	st.mu.Unlock()
+}
+
+// sweepLocked drops terminal records older than the TTL. finished and
+// state are stable under the store lock (see jobEntry), so no entry lock
+// is needed.
+func (st *jobStore) sweepLocked(now time.Time) {
+	for el := st.done.Front(); el != nil; {
+		e := el.Value.(*jobEntry)
+		if now.Sub(e.finished) < st.ttl {
+			break
+		}
+		next := el.Next()
+		st.evictLocked(e)
+		el = next
+	}
+}
+
+// evictLocked removes one terminal entry from both indexes.
+func (st *jobStore) evictLocked(e *jobEntry) {
+	if e.doneEl != nil {
+		st.done.Remove(e.doneEl)
+		e.doneEl = nil
+	}
+	delete(st.byID, e.id)
+	st.evicted.Add(1)
+}
+
+// JobStats is the job-store block of /v1/stats.
+type JobStats struct {
+	// Stored counts records currently retrievable, split by state below.
+	Stored   int `json:"stored"`
+	Queued   int `json:"queued"`
+	Running  int `json:"running"`
+	Done     int `json:"done"`
+	Failed   int `json:"failed"`
+	Canceled int `json:"canceled"`
+	// SubmittedTotal counts every job ever registered (async, batch, and
+	// synchronous requests all run through the job machinery);
+	// EvictedTotal counts records dropped by TTL or capacity eviction.
+	SubmittedTotal int64   `json:"submitted_total"`
+	EvictedTotal   int64   `json:"evicted_total"`
+	Capacity       int     `json:"capacity"`
+	TTLSeconds     float64 `json:"ttl_seconds"`
+}
+
+func (st *jobStore) snapshot() JobStats {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.sweepLocked(time.Now())
+	s := JobStats{
+		Stored:         len(st.byID),
+		SubmittedTotal: st.submitted.Load(),
+		EvictedTotal:   st.evicted.Load(),
+		Capacity:       st.cap,
+		TTLSeconds:     st.ttl.Seconds(),
+	}
+	for _, e := range st.byID {
+		e.mu.Lock()
+		state := e.state
+		e.mu.Unlock()
+		switch state {
+		case client.StateQueued:
+			s.Queued++
+		case client.StateRunning:
+			s.Running++
+		case client.StateDone:
+			s.Done++
+		case client.StateFailed:
+			s.Failed++
+		case client.StateCanceled:
+			s.Canceled++
+		}
+	}
+	return s
+}

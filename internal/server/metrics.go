@@ -110,6 +110,7 @@ func (m *metrics) observe(kind regiongrow.EngineKind, d time.Duration) {
 type Stats struct {
 	UptimeSeconds float64                   `json:"uptime_seconds"`
 	Requests      RequestStats              `json:"requests"`
+	Jobs          JobStats                  `json:"jobs"`
 	Cache         CacheStats                `json:"cache"`
 	Queue         QueueStats                `json:"queue"`
 	Progress      ProgressStats             `json:"progress"`
@@ -146,7 +147,7 @@ type QueueStats struct {
 	Workers  int   `json:"workers"`
 }
 
-func (m *metrics) snapshot(pool *Pool, cache *resultCache) Stats {
+func (m *metrics) snapshot(pool *Pool, cache *resultCache, jobs *jobStore) Stats {
 	disc, dead := m.canceledDisconnect.Load(), m.canceledDeadline.Load()
 	s := Stats{
 		UptimeSeconds: time.Since(m.start).Seconds(),
@@ -159,6 +160,7 @@ func (m *metrics) snapshot(pool *Pool, cache *resultCache) Stats {
 			CanceledDisconnect: disc,
 			CanceledDeadline:   dead,
 		},
+		Jobs:     jobs.snapshot(),
 		Progress: m.progress.snapshot(),
 		Cache: CacheStats{
 			Hits:     cache.Hits(),

@@ -35,12 +35,14 @@ type job struct {
 	cfg  regiongrow.Config
 	kind regiongrow.EngineKind
 	obs  regiongrow.Observer
-	done chan jobResult
+	done chan Outcome
 }
 
-type jobResult struct {
-	seg *regiongrow.Segmentation
-	err error
+// Outcome is the terminal result of one enqueued job, delivered on the
+// channel Enqueue returns once a worker has finished with it.
+type Outcome struct {
+	Seg *regiongrow.Segmentation
+	Err error
 }
 
 // Result describes one completed job, delivered to the pool's onResult
@@ -137,7 +139,40 @@ func (p *Pool) worker() {
 			p.onResult(Result{Key: j.key, Kind: j.kind, Seg: seg, Err: err, Elapsed: elapsed, Obs: j.obs})
 		}
 		p.inflight.Add(-1)
-		j.done <- jobResult{seg: seg, err: err}
+		j.done <- Outcome{Seg: seg, Err: err}
+	}
+}
+
+// Enqueue places one segmentation on the queue without waiting for it:
+// the returned 1-buffered channel receives the outcome when a worker
+// finishes the job, whether or not anyone is listening by then. The
+// compute runs under runCtx exactly as given — the warm-abandoned policy
+// rewrites contexts only in Submit, whose waiter can silently vanish;
+// Enqueue callers own their job's lifecycle and cancel runCtx explicitly.
+// Enqueue returns ErrQueueFull when the queue has no free slot and
+// ErrClosed after Close; once it returns nil, an Outcome is guaranteed
+// (Close drains the queue before stopping the workers).
+func (p *Pool) Enqueue(runCtx context.Context, key string, im *regiongrow.Image, cfg regiongrow.Config, kind regiongrow.EngineKind, obs regiongrow.Observer) (<-chan Outcome, error) {
+	j := &job{ctx: runCtx, key: key, im: im, cfg: cfg, kind: kind, obs: obs, done: make(chan Outcome, 1)}
+	if err := p.push(j); err != nil {
+		return nil, err
+	}
+	return j.done, nil
+}
+
+// push is the non-blocking bounded enqueue both Enqueue and Submit go
+// through.
+func (p *Pool) push(j *job) error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return ErrClosed
+	}
+	select {
+	case p.jobs <- j:
+		return nil
+	default:
+		return ErrQueueFull
 	}
 }
 
@@ -154,24 +189,13 @@ func (p *Pool) Submit(ctx context.Context, key string, im *regiongrow.Image, cfg
 	if p.warm {
 		runCtx = context.WithoutCancel(ctx)
 	}
-	j := &job{ctx: runCtx, key: key, im: im, cfg: cfg, kind: kind, obs: obs, done: make(chan jobResult, 1)}
-
-	p.mu.RLock()
-	if p.closed {
-		p.mu.RUnlock()
-		return nil, ErrClosed
+	done, err := p.Enqueue(runCtx, key, im, cfg, kind, obs)
+	if err != nil {
+		return nil, err
 	}
 	select {
-	case p.jobs <- j:
-		p.mu.RUnlock()
-	default:
-		p.mu.RUnlock()
-		return nil, ErrQueueFull
-	}
-
-	select {
-	case r := <-j.done:
-		return r.seg, r.err
+	case r := <-done:
+		return r.Seg, r.Err
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}

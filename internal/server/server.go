@@ -4,6 +4,7 @@ import (
 	"context"
 	"net/http"
 	"runtime"
+	"sync"
 	"time"
 
 	"regiongrow"
@@ -31,8 +32,19 @@ type Options struct {
 	// WarmAbandoned keeps computing jobs whose client disconnected or
 	// timed out, so their results warm the cache for the retry that
 	// usually follows. Off by default: abandoned compute is cancelled
-	// within one split/merge iteration and its worker freed.
+	// within one split/merge iteration and its worker freed. It applies
+	// to the synchronous path only — asynchronous jobs have no waiter to
+	// lose and run until they finish or are cancelled via DELETE.
 	WarmAbandoned bool
+	// JobCapacity bounds the job-record store; <=0 selects 1024. At
+	// capacity, the oldest finished record is evicted to admit a new
+	// submission; when every record is still queued or running, new
+	// submissions are rejected with 429.
+	JobCapacity int
+	// JobTTL bounds how long a finished job record (and its result)
+	// stays retrievable; <=0 selects 15 minutes. Expired records are
+	// swept lazily on submissions and lookups.
+	JobTTL time.Duration
 	// Segment replaces the pooled per-engine Segmenters; nil selects
 	// them. Tests use it to control job timing.
 	Segment SegmentFunc
@@ -51,6 +63,12 @@ func (o Options) withDefaults() Options {
 	if o.MaxBodyBytes <= 0 {
 		o.MaxBodyBytes = 16 << 20
 	}
+	if o.JobCapacity <= 0 {
+		o.JobCapacity = 1024
+	}
+	if o.JobTTL <= 0 {
+		o.JobTTL = 15 * time.Minute
+	}
 	return o
 }
 
@@ -62,7 +80,11 @@ type Server struct {
 	pool    *Pool
 	cache   *resultCache
 	metrics *metrics
+	jobs    *jobStore
 	mux     *http.ServeMux
+	// jobWG tracks the per-job monitor goroutines that move records to
+	// their terminal state; Close waits for them after draining the pool.
+	jobWG sync.WaitGroup
 	// segmenters are the long-lived per-engine sessions every job runs
 	// through: their buffer pools are what makes the steady-state
 	// cache-miss path allocate near zero for the split stage.
@@ -76,6 +98,7 @@ func New(opts Options) *Server {
 		opts:       opts,
 		cache:      newResultCache(opts.CacheEntries),
 		metrics:    newMetrics(),
+		jobs:       newJobStore(opts.JobCapacity, opts.JobTTL),
 		mux:        http.NewServeMux(),
 		segmenters: make(map[regiongrow.EngineKind]*regiongrow.Segmenter),
 	}
@@ -98,7 +121,7 @@ func New(opts Options) *Server {
 	// runs on the worker after compute has truly ended, the only point
 	// correct under every policy and SegmentFunc.
 	s.pool = NewPool(opts.Workers, opts.QueueDepth, fn, func(r Result) {
-		if t, ok := r.Obs.(*jobTracker); ok {
+		if t, ok := r.Obs.(finisher); ok {
 			t.finish()
 		}
 		if r.Err == nil {
@@ -107,10 +130,20 @@ func New(opts Options) *Server {
 		}
 	}, opts.WarmAbandoned)
 	s.mux.HandleFunc("POST /v1/segment", s.handleSegment)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobDelete)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s
 }
+
+// finisher is implemented by observers that must be finalized on the
+// worker when compute truly ends — job trackers releasing their stage
+// gauge, whatever observer wraps them.
+type finisher interface{ finish() }
 
 // segment is the default SegmentFunc: route the job through the pooled
 // session for its engine kind. (The pool worker releases the job
@@ -136,13 +169,17 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// Close stops the worker pool after draining accepted jobs. Call it after
+// Close stops the worker pool after draining accepted jobs, then waits
+// for every job record to settle into its terminal state. Call it after
 // http.Server.Shutdown has returned so no handler is still submitting.
-func (s *Server) Close() { s.pool.Close() }
+func (s *Server) Close() {
+	s.pool.Close()
+	s.jobWG.Wait()
+}
 
 // Stats returns a point-in-time snapshot of the service counters — the
 // same document /v1/stats serves.
-func (s *Server) Stats() Stats { return s.metrics.snapshot(s.pool, s.cache) }
+func (s *Server) Stats() Stats { return s.metrics.snapshot(s.pool, s.cache, s.jobs) }
 
 // ServingEngineKinds lists the engines worth putting behind the server:
 // every kind works, but the simulated CM kinds exist to report machine

@@ -171,15 +171,41 @@ func ParseEngineKind(s string) (EngineKind, error) {
 	return 0, fmt.Errorf("regiongrow: unknown engine %q (want sequential, cm2-8k, cm2-16k, cm5-cmf, cm5-lp, cm5-async, or native)", s)
 }
 
+// MarshalText implements encoding.TextMarshaler with the String name, so
+// JSON wire types (the job records of internal/server and the client SDK)
+// and flag packages round-trip engine kinds without ad-hoc switches.
+// Unknown kinds fail rather than emitting a name ParseEngineKind would
+// reject.
+func (k EngineKind) MarshalText() ([]byte, error) {
+	s := k.String()
+	if strings.HasPrefix(s, "EngineKind(") {
+		return nil, fmt.Errorf("regiongrow: cannot marshal unknown engine kind %d", int(k))
+	}
+	return []byte(s), nil
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler via ParseEngineKind
+// (case-insensitive).
+func (k *EngineKind) UnmarshalText(text []byte) error {
+	v, err := ParseEngineKind(string(text))
+	if err != nil {
+		return err
+	}
+	*k = v
+	return nil
+}
+
 // ParseTiePolicy resolves the names printed by TiePolicy.String
 // ("smallest-id", "largest-id", "random"). Matching is case-insensitive.
+// TiePolicy also implements encoding.TextMarshaler/TextUnmarshaler with
+// the same names, so JSON wire types and flag packages round-trip
+// policies directly.
 func ParseTiePolicy(s string) (TiePolicy, error) {
-	for _, p := range []TiePolicy{SmallestIDTie, LargestIDTie, RandomTie} {
-		if strings.EqualFold(p.String(), s) {
-			return p, nil
-		}
+	var p TiePolicy
+	if err := p.UnmarshalText([]byte(s)); err != nil {
+		return 0, fmt.Errorf("regiongrow: unknown tie policy %q (want random, smallest-id, or largest-id)", s)
 	}
-	return 0, fmt.Errorf("regiongrow: unknown tie policy %q (want random, smallest-id, or largest-id)", s)
+	return p, nil
 }
 
 // ParsePaperImageID resolves a paper image by short name: "image1" through
@@ -314,7 +340,12 @@ func WriteRegionDOT(w io.Writer, rs []RegionStat) error { return regstats.WriteD
 // intensity interval, producing an image in which the region structure is
 // visible in any PGM viewer.
 func Recolour(seg *Segmentation, im *Image) *Image {
-	shade := make(map[int32]uint8, len(seg.Regions))
+	// Region IDs are anchor pixel indices (the smallest linear index in
+	// the region), so they already index densely into [0, W·H): a flat
+	// shade table replaces the per-pixel map lookup the hot loop used to
+	// pay for. The table is one byte per pixel — the same size as the
+	// output raster it feeds.
+	shade := make([]uint8, im.W*im.H)
 	for _, r := range seg.Regions {
 		shade[r.ID] = uint8((int(r.IV.Lo) + int(r.IV.Hi)) / 2)
 	}
