@@ -1,0 +1,270 @@
+// Command benchgate compares two `go test -bench` outputs and fails on
+// performance regressions — the repo's CI perf gate.
+//
+// Usage:
+//
+//	benchgate -baseline bench_baseline.txt -current current.txt
+//	          [-maxtime 1.25] [-maxallocs 1.10] [-json BENCH_5.json]
+//
+// Both inputs are raw `go test -bench . -count=N -benchmem` output. For
+// every benchmark present in both files, benchgate takes the median
+// ns/op and allocs/op across the repetitions (median-of-5 is what the CI
+// job runs — robust to one noisy sample, the same idea benchstat's
+// summaries are built on) and computes current/baseline ratios. The gate
+// fails (exit 1) when any time ratio exceeds -maxtime (default 1.25,
+// i.e. >25% slower) or any allocs ratio exceeds -maxallocs (default
+// 1.10). Benchmarks present on only one side are reported but do not
+// fail the gate, so adding or retiring benchmarks does not require a
+// lockstep baseline refresh.
+//
+// With -json, a machine-readable report (per-benchmark medians, ratios,
+// verdicts, and the raw current output) is written — CI uploads it as
+// the BENCH_<pr>.json perf-trajectory artifact.
+//
+// Baseline and current must be measured at the same GOMAXPROCS:
+// benchmark names carry a -GOMAXPROCS suffix on multi-proc runs, so a
+// mismatch yields zero overlapping names (benchgate then fails loudly
+// rather than passing vacuously). The CI job pins GOMAXPROCS=1 to match
+// the committed baseline. Refresh it with:
+//
+//	GOMAXPROCS=1 go test -run '^$' -bench 'SegmenterReuse$|NativeVsSequential$|Recolour$' \
+//	    -benchtime 0.3s -count=5 -benchmem . > bench_baseline.txt
+//	GOMAXPROCS=1 go test -run '^$' -bench 'ServeThroughput$' \
+//	    -benchtime 0.3s -count=5 -benchmem ./internal/server >> bench_baseline.txt
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// sample is one parsed benchmark line.
+type sample struct {
+	nsPerOp     float64
+	allocsPerOp float64
+	hasAllocs   bool
+}
+
+// parseBench extracts benchmark samples from `go test -bench` output,
+// keyed by benchmark name (including the -GOMAXPROCS suffix, so runs on
+// different processor counts never compare against each other).
+func parseBench(text string) map[string][]sample {
+	out := make(map[string][]sample)
+	for _, line := range strings.Split(text, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		var s sample
+		ok := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				s.nsPerOp = v
+				ok = true
+			case "allocs/op":
+				s.allocsPerOp = v
+				s.hasAllocs = true
+			}
+		}
+		if ok {
+			out[fields[0]] = append(out[fields[0]], s)
+		}
+	}
+	return out
+}
+
+// median returns the median of vs (mean of the middle pair for even
+// counts). vs must be non-empty.
+func median(vs []float64) float64 {
+	sorted := append([]float64(nil), vs...)
+	sort.Float64s(sorted)
+	n := len(sorted)
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
+}
+
+// medians reduces samples to (median ns/op, median allocs/op, has-allocs).
+func medians(ss []sample) (ns, allocs float64, hasAllocs bool) {
+	nsv := make([]float64, 0, len(ss))
+	av := make([]float64, 0, len(ss))
+	for _, s := range ss {
+		nsv = append(nsv, s.nsPerOp)
+		if s.hasAllocs {
+			av = append(av, s.allocsPerOp)
+		}
+	}
+	ns = median(nsv)
+	if len(av) > 0 {
+		allocs = median(av)
+		hasAllocs = true
+	}
+	return ns, allocs, hasAllocs
+}
+
+// Result is one benchmark's comparison in the JSON report.
+type Result struct {
+	Name           string  `json:"name"`
+	BaselineNsOp   float64 `json:"baseline_ns_op"`
+	CurrentNsOp    float64 `json:"current_ns_op"`
+	TimeRatio      float64 `json:"time_ratio"`
+	BaselineAllocs float64 `json:"baseline_allocs_op,omitempty"`
+	CurrentAllocs  float64 `json:"current_allocs_op,omitempty"`
+	AllocRatio     float64 `json:"alloc_ratio,omitempty"`
+	// Status is "ok", "time-regression", "alloc-regression", or both
+	// joined with "+".
+	Status string `json:"status"`
+}
+
+// Report is the JSON document -json emits (the BENCH_<pr>.json artifact).
+type Report struct {
+	BaselineFile string   `json:"baseline_file"`
+	MaxTimeRatio float64  `json:"max_time_ratio"`
+	MaxAllocs    float64  `json:"max_alloc_ratio"`
+	Pass         bool     `json:"pass"`
+	Results      []Result `json:"results"`
+	OnlyBaseline []string `json:"only_in_baseline,omitempty"`
+	OnlyCurrent  []string `json:"only_in_current,omitempty"`
+	RawCurrent   string   `json:"raw_current"`
+}
+
+// gate compares baseline and current bench text under the thresholds and
+// returns the report.
+func gate(baselineText, currentText, baselineFile string, maxTime, maxAllocs float64) Report {
+	base := parseBench(baselineText)
+	cur := parseBench(currentText)
+	rep := Report{
+		BaselineFile: baselineFile,
+		MaxTimeRatio: maxTime,
+		MaxAllocs:    maxAllocs,
+		Pass:         true,
+		RawCurrent:   currentText,
+	}
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		cs, ok := cur[name]
+		if !ok {
+			rep.OnlyBaseline = append(rep.OnlyBaseline, name)
+			continue
+		}
+		bNs, bAllocs, bHas := medians(base[name])
+		cNs, cAllocs, cHas := medians(cs)
+		r := Result{
+			Name:         name,
+			BaselineNsOp: bNs,
+			CurrentNsOp:  cNs,
+			TimeRatio:    ratio(cNs, bNs),
+			Status:       "ok",
+		}
+		var bad []string
+		if r.TimeRatio > maxTime {
+			bad = append(bad, "time-regression")
+		}
+		if bHas && cHas {
+			r.BaselineAllocs = bAllocs
+			r.CurrentAllocs = cAllocs
+			r.AllocRatio = ratio(cAllocs, bAllocs)
+			if r.AllocRatio > maxAllocs {
+				bad = append(bad, "alloc-regression")
+			}
+		}
+		if len(bad) > 0 {
+			r.Status = strings.Join(bad, "+")
+			rep.Pass = false
+		}
+		rep.Results = append(rep.Results, r)
+	}
+	for name := range cur {
+		if _, ok := base[name]; !ok {
+			rep.OnlyCurrent = append(rep.OnlyCurrent, name)
+		}
+	}
+	sort.Strings(rep.OnlyCurrent)
+	return rep
+}
+
+// ratio divides current by baseline, treating a zero baseline as parity —
+// a 0 ns/op or 0 allocs/op baseline carries no signal to gate on.
+func ratio(cur, base float64) float64 {
+	if base == 0 {
+		return 1
+	}
+	return cur / base
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchgate: ")
+	baselinePath := flag.String("baseline", "bench_baseline.txt", "committed baseline `go test -bench` output")
+	currentPath := flag.String("current", "", "freshly measured `go test -bench` output (required)")
+	maxTime := flag.Float64("maxtime", 1.25, "maximum allowed current/baseline ns/op ratio")
+	maxAllocs := flag.Float64("maxallocs", 1.10, "maximum allowed current/baseline allocs/op ratio")
+	jsonPath := flag.String("json", "", "write the machine-readable report here (the BENCH_*.json artifact)")
+	flag.Parse()
+	if *currentPath == "" || flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: benchgate -baseline bench_baseline.txt -current current.txt [-maxtime 1.25] [-maxallocs 1.10] [-json BENCH_5.json]")
+		os.Exit(2)
+	}
+	baseText, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	curText, err := os.ReadFile(*currentPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := gate(string(baseText), string(curText), *baselinePath, *maxTime, *maxAllocs)
+	if len(rep.Results) == 0 {
+		log.Fatal("no benchmark appears in both baseline and current output (were they measured at the same GOMAXPROCS? names differ by the -N suffix)")
+	}
+
+	for _, r := range rep.Results {
+		line := fmt.Sprintf("%-50s time %9.0f -> %9.0f ns/op (x%.3f)", r.Name, r.BaselineNsOp, r.CurrentNsOp, r.TimeRatio)
+		if r.AllocRatio != 0 {
+			line += fmt.Sprintf("   allocs %7.0f -> %7.0f (x%.3f)", r.BaselineAllocs, r.CurrentAllocs, r.AllocRatio)
+		}
+		fmt.Printf("%s   [%s]\n", line, r.Status)
+	}
+	for _, name := range rep.OnlyBaseline {
+		fmt.Printf("%-50s only in baseline (not run)\n", name)
+	}
+	for _, name := range rep.OnlyCurrent {
+		fmt.Printf("%-50s new (no baseline yet)\n", name)
+	}
+
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+	if !rep.Pass {
+		log.Fatalf("FAIL: regression beyond x%.2f time or x%.2f allocs", *maxTime, *maxAllocs)
+	}
+	fmt.Printf("PASS: %d benchmarks within x%.2f time / x%.2f allocs of baseline\n", len(rep.Results), *maxTime, *maxAllocs)
+}

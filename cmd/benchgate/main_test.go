@@ -1,0 +1,108 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const baselineText = `
+goos: linux
+BenchmarkSegmenterReuse-2    100    1000000 ns/op    50000 B/op    2300 allocs/op
+BenchmarkSegmenterReuse-2    100    1100000 ns/op    50000 B/op    2310 allocs/op
+BenchmarkSegmenterReuse-2    100    1050000 ns/op    50000 B/op    2305 allocs/op
+BenchmarkSegmenterReuse-2    100    1020000 ns/op    50000 B/op    2302 allocs/op
+BenchmarkSegmenterReuse-2    100    1080000 ns/op    50000 B/op    2308 allocs/op
+BenchmarkRecolour/image6-2   500     109000 ns/op    66000 B/op       2 allocs/op
+PASS
+`
+
+// TestGatePassesOnParity: identical measurements pass.
+func TestGatePassesOnParity(t *testing.T) {
+	rep := gate(baselineText, baselineText, "b.txt", 1.25, 1.10)
+	if !rep.Pass {
+		t.Fatalf("parity failed the gate: %+v", rep.Results)
+	}
+	if len(rep.Results) != 2 {
+		t.Fatalf("compared %d benchmarks, want 2", len(rep.Results))
+	}
+}
+
+// TestGateFailsOnInjectedTimeRegression: a >25% median time/op slowdown
+// fails the gate — the acceptance check for the CI bench-gate job,
+// verified here without waiting on real benchmark noise.
+func TestGateFailsOnInjectedTimeRegression(t *testing.T) {
+	slowed := strings.ReplaceAll(baselineText, "1000000 ns/op", "1400000 ns/op")
+	slowed = strings.ReplaceAll(slowed, "1100000 ns/op", "1400000 ns/op")
+	slowed = strings.ReplaceAll(slowed, "1050000 ns/op", "1400000 ns/op")
+	slowed = strings.ReplaceAll(slowed, "1020000 ns/op", "1400000 ns/op")
+	slowed = strings.ReplaceAll(slowed, "1080000 ns/op", "1400000 ns/op")
+	rep := gate(baselineText, slowed, "b.txt", 1.25, 1.10)
+	if rep.Pass {
+		t.Fatal("a 1.33x time regression passed the gate")
+	}
+	var hit bool
+	for _, r := range rep.Results {
+		if r.Name == "BenchmarkSegmenterReuse-2" {
+			hit = true
+			if r.Status != "time-regression" {
+				t.Errorf("status %q, want time-regression", r.Status)
+			}
+			if r.TimeRatio < 1.3 || r.TimeRatio > 1.4 {
+				t.Errorf("time ratio %.3f, want ~1.33", r.TimeRatio)
+			}
+		}
+	}
+	if !hit {
+		t.Fatal("regressed benchmark missing from results")
+	}
+}
+
+// TestGateFailsOnAllocRegression: a >10% allocs/op growth fails even at
+// equal speed.
+func TestGateFailsOnAllocRegression(t *testing.T) {
+	bloated := strings.ReplaceAll(baselineText, "2300 allocs/op", "2600 allocs/op")
+	bloated = strings.ReplaceAll(bloated, "2310 allocs/op", "2600 allocs/op")
+	bloated = strings.ReplaceAll(bloated, "2305 allocs/op", "2600 allocs/op")
+	bloated = strings.ReplaceAll(bloated, "2302 allocs/op", "2600 allocs/op")
+	bloated = strings.ReplaceAll(bloated, "2308 allocs/op", "2600 allocs/op")
+	rep := gate(baselineText, bloated, "b.txt", 1.25, 1.10)
+	if rep.Pass {
+		t.Fatal("a 1.13x alloc regression passed the gate")
+	}
+}
+
+// TestGateMedianAbsorbsOneOutlier: one wild sample among five must not
+// fail the gate — that is the point of median aggregation.
+func TestGateMedianAbsorbsOneOutlier(t *testing.T) {
+	noisy := strings.Replace(baselineText, "1000000 ns/op", "9000000 ns/op", 1)
+	rep := gate(baselineText, noisy, "b.txt", 1.25, 1.10)
+	if !rep.Pass {
+		t.Fatalf("one outlier sample failed the gate: %+v", rep.Results)
+	}
+}
+
+// TestGateHandlesDisjointSets: benchmarks on only one side are reported
+// but never gate.
+func TestGateHandlesDisjointSets(t *testing.T) {
+	current := baselineText + "\nBenchmarkNew-2   100   5 ns/op\n"
+	current = strings.ReplaceAll(current, "BenchmarkRecolour/image6-2", "BenchmarkRenamed-2")
+	rep := gate(baselineText, current, "b.txt", 1.25, 1.10)
+	if !rep.Pass {
+		t.Fatalf("disjoint benchmarks failed the gate: %+v", rep.Results)
+	}
+	if len(rep.OnlyBaseline) != 1 || rep.OnlyBaseline[0] != "BenchmarkRecolour/image6-2" {
+		t.Errorf("OnlyBaseline = %v", rep.OnlyBaseline)
+	}
+	if len(rep.OnlyCurrent) != 2 {
+		t.Errorf("OnlyCurrent = %v, want the renamed and new benchmarks", rep.OnlyCurrent)
+	}
+}
+
+// TestParseBenchIgnoresNoise: non-benchmark lines and malformed fields
+// are skipped.
+func TestParseBenchIgnoresNoise(t *testing.T) {
+	got := parseBench("goos: linux\nok pkg 1.2s\nBenchmarkX-4 10 bogus ns/op\nBenchmarkY-4 10 42 ns/op\n")
+	if len(got) != 1 || len(got["BenchmarkY-4"]) != 1 || got["BenchmarkY-4"][0].nsPerOp != 42 {
+		t.Fatalf("parseBench = %+v", got)
+	}
+}

@@ -1,0 +1,63 @@
+// Command regiongrow-worker is one worker process of a distributed
+// region-growing cluster: it listens for coordinator connections and runs
+// one image-band job per connection (concurrently, so several
+// coordinators can share a cluster without deadlocking each other).
+//
+// Usage:
+//
+//	regiongrow-worker [-listen 127.0.0.1:0]
+//
+// The first stdout line is "listening on ADDR" — with port 0, that is how
+// a supervisor discovers the bound port. Point a coordinator at a set of
+// workers with `regiongrow -engine dist -cluster host:port,...` or
+// `regiongrowd -cluster host:port,...`; the coordinator ships each worker
+// its band of pixels, so workers need no access to the image source. On
+// SIGINT/SIGTERM the worker stops accepting, drains in-flight jobs, and
+// exits 0. A coordinator abort (context cancellation) ends only the job,
+// not the process.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"regiongrow/internal/distengine"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("regiongrow-worker: ")
+	listen := flag.String("listen", "127.0.0.1:0", "TCP address to listen on (port 0 picks a free port)")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: regiongrow-worker [-listen 127.0.0.1:0]")
+		os.Exit(2)
+	}
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("listening on %s\n", l.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		log.Print("shutdown signal received, draining")
+		l.Close()
+	}()
+
+	// ServeWorker returns once the listener is closed and in-flight jobs
+	// have drained; the accept error it reports is then the expected one.
+	if err := distengine.ServeWorker(l); err != nil && !errors.Is(err, net.ErrClosed) {
+		log.Fatal(err)
+	}
+	log.Print("drained, exiting")
+}

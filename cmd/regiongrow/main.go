@@ -5,13 +5,16 @@
 // Usage:
 //
 //	regiongrow [-engine E] [-threshold T] [-tie P] [-seed S]
-//	           [-maxsquare M] [-timeout D] [-server URL] [-o out.pgm]
+//	           [-maxsquare M] [-timeout D] [-server URL]
+//	           [-cluster host:port,...] [-o out.pgm]
 //	           [-dot out.dot] [-json out.json] input.pgm
 //
 // Engines: sequential (default), cm2-8k, cm2-16k, cm5-cmf, cm5-lp,
-// cm5-async, native. The CM engines additionally report simulated machine
-// times; native runs the algorithm on host goroutines (GOMAXPROCS
-// workers). With -timeout, a run exceeding the duration is cancelled
+// cm5-async, native, dist. The CM engines additionally report simulated
+// machine times; native runs the algorithm on host goroutines (GOMAXPROCS
+// workers); dist coordinates real regiongrow-worker processes over TCP
+// (-cluster lists their addresses and implies -engine dist when no engine
+// is named). With -timeout, a run exceeding the duration is cancelled
 // (within one split/merge iteration) and the command exits non-zero
 // naming the stage it reached.
 //
@@ -30,6 +33,7 @@ import (
 	"log"
 	"os"
 	"sort"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -74,29 +78,49 @@ func (t *stageTracker) String() string {
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("regiongrow: ")
-	engineName := flag.String("engine", "sequential",
-		"execution engine: sequential, cm2-8k, cm2-16k, cm5-cmf, cm5-lp, cm5-async, or native")
+	engineName := flag.String("engine", "",
+		"execution engine: sequential (default), cm2-8k, cm2-16k, cm5-cmf, cm5-lp, cm5-async, native, or dist")
 	threshold := flag.Int("threshold", 10, "pixel-range homogeneity threshold T")
 	tieName := flag.String("tie", "random", "tie policy: random, smallest-id, largest-id")
 	seed := flag.Uint64("seed", 1, "random tie seed")
 	maxSquare := flag.Int("maxsquare", 0, "split square cap (0 = N/8 as in the paper, -1 = unbounded)")
 	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 	serverURL := flag.String("server", "", "segment via a regiongrowd service at this base URL instead of a local engine")
+	cluster := flag.String("cluster", "", "comma-separated regiongrow-worker addresses for the dist engine (implies -engine dist)")
 	out := flag.String("o", "", "write recoloured segmentation to this PGM path")
 	dotPath := flag.String("dot", "", "write the final region adjacency graph as Graphviz DOT")
 	jsonPath := flag.String("json", "", "write per-region statistics as JSON")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: regiongrow [-engine E] [-threshold T] [-tie P] [-seed S]")
-		fmt.Fprintln(os.Stderr, "                  [-maxsquare M] [-timeout D] [-server URL] [-o out.pgm]")
+		fmt.Fprintln(os.Stderr, "                  [-maxsquare M] [-timeout D] [-server URL]")
+		fmt.Fprintln(os.Stderr, "                  [-cluster host:port,...] [-o out.pgm]")
 		fmt.Fprintln(os.Stderr, "                  [-dot out.dot] [-json out.json] input.pgm")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
 
-	kind, err := regiongrow.ParseEngineKind(*engineName)
+	var clusterAddrs []string
+	if *cluster != "" {
+		for _, a := range strings.Split(*cluster, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				clusterAddrs = append(clusterAddrs, a)
+			}
+		}
+	}
+	name := *engineName
+	if name == "" {
+		name = "sequential"
+		if len(clusterAddrs) > 0 {
+			name = "dist"
+		}
+	}
+	kind, err := regiongrow.ParseEngineKind(name)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if kind == regiongrow.Distributed && len(clusterAddrs) == 0 && *serverURL == "" {
+		log.Fatal("engine dist needs -cluster host:port,... (regiongrow-worker addresses)")
 	}
 	tie, err := regiongrow.ParseTiePolicy(*tieName)
 	if err != nil {
@@ -121,7 +145,11 @@ func main() {
 	}
 
 	tracker := &stageTracker{}
-	seg2, err := regiongrow.New(kind, regiongrow.WithObserver(tracker))
+	sessOpts := []regiongrow.Option{regiongrow.WithObserver(tracker)}
+	if kind == regiongrow.Distributed {
+		sessOpts = append(sessOpts, regiongrow.WithClusterWorkers(clusterAddrs))
+	}
+	seg2, err := regiongrow.New(kind, sessOpts...)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,7 +7,13 @@
 //
 //	regiongrowd [-addr :8080] [-workers N] [-queue D] [-cache E]
 //	            [-maxbody BYTES] [-drain TIMEOUT] [-timeout D] [-warm]
-//	            [-jobcap N] [-jobttl D]
+//	            [-jobcap N] [-jobttl D] [-cluster host:port,...]
+//
+// With -cluster, the daemon also serves engine=dist: each such job is
+// coordinated across the listed regiongrow-worker processes over TCP,
+// which distributes the compute off this host while keeping results
+// byte-identical to the sequential engine. Without -cluster, engine=dist
+// requests are rejected with a hint.
 //
 // Endpoints:
 //
@@ -56,6 +62,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -75,10 +82,19 @@ func main() {
 	warm := flag.Bool("warm", false, "keep computing abandoned jobs (disconnect or deadline) so results still warm the cache")
 	jobCap := flag.Int("jobcap", 1024, "job record store capacity (full store of unfinished jobs answers 429)")
 	jobTTL := flag.Duration("jobttl", 15*time.Minute, "how long finished job records stay retrievable")
+	cluster := flag.String("cluster", "", "comma-separated regiongrow-worker addresses; enables the dist engine")
 	flag.Parse()
 	if flag.NArg() != 0 {
-		fmt.Fprintln(os.Stderr, "usage: regiongrowd [-addr :8080] [-workers N] [-queue D] [-cache E] [-maxbody BYTES] [-drain TIMEOUT] [-timeout D] [-warm] [-jobcap N] [-jobttl D]")
+		fmt.Fprintln(os.Stderr, "usage: regiongrowd [-addr :8080] [-workers N] [-queue D] [-cache E] [-maxbody BYTES] [-drain TIMEOUT] [-timeout D] [-warm] [-jobcap N] [-jobttl D] [-cluster host:port,...]")
 		os.Exit(2)
+	}
+	var clusterAddrs []string
+	if *cluster != "" {
+		for _, a := range strings.Split(*cluster, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				clusterAddrs = append(clusterAddrs, a)
+			}
+		}
 	}
 
 	svc := server.New(server.Options{
@@ -90,6 +106,7 @@ func main() {
 		WarmAbandoned:  *warm,
 		JobCapacity:    *jobCap,
 		JobTTL:         *jobTTL,
+		ClusterWorkers: clusterAddrs,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,

@@ -116,6 +116,34 @@ func NativeRowContext(ctx context.Context, id PaperImageID, cfg Config) (Row, er
 	}, nil
 }
 
+// ClusterRow runs the distributed engine against the given
+// regiongrow-worker addresses on one paper image and returns its table
+// row. Like NativeRow, the simulated-seconds columns are zero (the
+// distributed engine models no machine) and the real wall timings land in
+// WallSplit/WallMerge; the seed is used exactly as configured because the
+// distributed labels must match the sequential engine's.
+func ClusterRow(ctx context.Context, addrs []string, id PaperImageID, cfg Config) (Row, error) {
+	sess, err := New(Distributed, WithClusterWorkers(addrs))
+	if err != nil {
+		return Row{}, err
+	}
+	im := GeneratePaperImage(id)
+	seg, err := sess.Segment(ctx, im, cfg)
+	if err != nil {
+		return Row{}, fmt.Errorf("regiongrow: dist on %v: %w", id, err)
+	}
+	if err := Validate(seg, im, cfg); err != nil {
+		return Row{}, fmt.Errorf("regiongrow: dist on %v produced invalid segmentation: %w", id, err)
+	}
+	return Row{
+		Config:     machine.HostCluster,
+		SplitIters: seg.SplitIterations,
+		MergeIters: seg.MergeIterations,
+		WallSplit:  seg.SplitWall.Seconds(),
+		WallMerge:  seg.MergeWall.Seconds(),
+	}, nil
+}
+
 // RunExperimentWithNative runs the paper's five rows (RunExperiment) and
 // appends a sixth row for the native shared-memory engine. The paper's
 // tables keep their five-row shape by default; callers opt into the extra

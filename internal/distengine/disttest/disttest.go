@@ -1,0 +1,45 @@
+// Package disttest provides the in-process worker cluster used by test
+// suites across the repo: loopback listeners served by
+// distengine.ServeWorker, exactly as cmd/regiongrow-worker runs it, torn
+// down (and drained) via test cleanup. Production code must not import
+// it.
+package disttest
+
+import (
+	"net"
+	"sync"
+	"testing"
+
+	"regiongrow/internal/distengine"
+)
+
+// StartCluster launches n in-process workers on loopback listeners and
+// returns their addresses. The cleanup registered on tb closes the
+// listeners and waits for the serve loops (and their in-flight jobs) to
+// drain.
+func StartCluster(tb testing.TB, n int) []string {
+	tb.Helper()
+	addrs := make([]string, n)
+	listeners := make([]net.Listener, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			tb.Fatalf("disttest: listen: %v", err)
+		}
+		listeners[i] = l
+		addrs[i] = l.Addr().String()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = distengine.ServeWorker(l)
+		}()
+	}
+	tb.Cleanup(func() {
+		for _, l := range listeners {
+			l.Close()
+		}
+		wg.Wait()
+	})
+	return addrs
+}

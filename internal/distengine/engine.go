@@ -1,0 +1,394 @@
+package distengine
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"regiongrow/internal/core"
+	"regiongrow/internal/pixmap"
+	"regiongrow/internal/quadsplit"
+)
+
+// Wire codes for stage events: core.EventKind values, pinned here so a
+// drifting enum shows up as a compile-time constant mismatch in tests
+// rather than silent event corruption.
+const (
+	evSplitStart     = int32(core.EventSplitStart)
+	evSplitDone      = int32(core.EventSplitDone)
+	evGraphDone      = int32(core.EventGraphDone)
+	evMergeIteration = int32(core.EventMergeIteration)
+	evMergeDone      = int32(core.EventMergeDone)
+)
+
+// Engine is the coordinator side of the network-distributed engine: it
+// decomposes the image into horizontal bands, ships one band to each
+// worker process over TCP, serves the collectives their merge protocol
+// needs, and assembles the final segmentation. Labels are byte-identical
+// to the sequential engine's for every Config — the same invariant every
+// other engine holds — because the band program is the paper's
+// message-passing algorithm with all decision rules shared through
+// internal/rag.
+type Engine struct {
+	addrs       []string
+	dialTimeout time.Duration
+}
+
+// New returns a coordinator over the given worker addresses. A job uses
+// min(len(addrs), image-rows/cap) workers — bands are at least one split
+// cap tall, so tiny images use fewer workers than the cluster has.
+func New(addrs []string) *Engine {
+	return &Engine{addrs: addrs, dialTimeout: 10 * time.Second}
+}
+
+// Addrs returns the configured worker addresses.
+func (e *Engine) Addrs() []string { return e.addrs }
+
+// Name implements core.Engine.
+func (e *Engine) Name() string {
+	return fmt.Sprintf("distributed/%dw", len(e.addrs))
+}
+
+// Segment implements core.Engine.
+func (e *Engine) Segment(im *pixmap.Image, cfg core.Config) (*core.Segmentation, error) {
+	return e.SegmentContext(context.Background(), im, cfg, core.Run{})
+}
+
+// wconn is one coordinator→worker connection: reads are owned by the
+// handler goroutine, writes are shared between it and the abort path, so
+// they serialize on mu.
+type wconn struct {
+	c  net.Conn
+	r  *bufio.Reader
+	mu sync.Mutex
+	w  *bufio.Writer
+}
+
+func (wc *wconn) write(t frameType, payload []byte) error {
+	wc.mu.Lock()
+	defer wc.mu.Unlock()
+	return writeFrame(wc.w, t, payload)
+}
+
+// commCounters tallies the job's real communication, reported in
+// core.CommStats (the same block the simulated message-passing engine
+// fills from its cost model).
+type commCounters struct {
+	messages, words             atomic.Int64
+	reduces, gathers, exchanges atomic.Int64
+	barriers                    atomic.Int64
+}
+
+// SegmentContext implements core.ContextEngine. Cancelling ctx sends an
+// abort frame to every worker and tears the connections down; workers
+// abandon the job at their next collective (within one split/merge
+// iteration) and stay alive for the next one. All coordinator goroutines
+// have drained by the time the error returns.
+func (e *Engine) SegmentContext(ctx context.Context, im *pixmap.Image, cfg core.Config, run core.Run) (*core.Segmentation, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if len(e.addrs) == 0 {
+		return nil, fmt.Errorf("distengine: no cluster workers configured")
+	}
+	if im.W == 0 || im.H == 0 {
+		return nil, fmt.Errorf("distengine: cannot distribute an empty %dx%d image", im.W, im.H)
+	}
+	cap := quadsplit.EffectiveCap(quadsplit.Options{MaxSquare: cfg.MaxSquare}, im.W, im.H)
+	blocks := (im.H + cap - 1) / cap
+	m := min(len(e.addrs), blocks)
+
+	// Band boundaries: blocks of cap rows spread as evenly as possible,
+	// every boundary cap-aligned so no split square crosses one.
+	starts := make([]int, m+1)
+	base, rem := blocks/m, blocks%m
+	for r := 0; r < m; r++ {
+		take := base
+		if r < rem {
+			take++
+		}
+		starts[r+1] = min(starts[r]+take*cap, im.H)
+	}
+	starts[m] = im.H
+
+	run.Emit(core.StageEvent{Kind: core.EventSplitStart})
+	t0 := time.Now()
+
+	conns := make([]*wconn, m)
+	defer func() {
+		for _, wc := range conns {
+			if wc != nil {
+				wc.c.Close()
+			}
+		}
+	}()
+	d := net.Dialer{Timeout: e.dialTimeout}
+	for r := 0; r < m; r++ {
+		c, err := d.DialContext(ctx, "tcp", e.addrs[r])
+		if err != nil {
+			return nil, fmt.Errorf("distengine: dialing worker %d at %s: %w", r, e.addrs[r], err)
+		}
+		conns[r] = &wconn{c: c, r: bufio.NewReader(c), w: bufio.NewWriter(c)}
+	}
+
+	coll := newCollective(m)
+	var comm commCounters
+
+	// fail aborts the whole job once: release blocked collectives, then
+	// best-effort abort frames and teardown so workers and handlers
+	// blocked on I/O unwind too. The write deadline is set on the raw
+	// conn first (legal concurrently, no lock needed): it interrupts a
+	// handler blocked mid-write to a stalled peer — releasing wconn.mu —
+	// and bounds the abort write itself, so a worker that stops reading
+	// can never stall cancellation.
+	var failOnce sync.Once
+	fail := func(err error) {
+		failOnce.Do(func() {
+			coll.abort(err)
+			deadline := time.Now().Add(2 * time.Second)
+			for _, wc := range conns {
+				_ = wc.c.SetWriteDeadline(deadline)
+			}
+			for _, wc := range conns {
+				_ = wc.write(frameAbort, nil)
+				wc.c.Close()
+			}
+		})
+	}
+
+	// The context watcher turns ctx cancellation into a job abort. jobDone
+	// stops it on the success path.
+	jobDone := make(chan struct{})
+	var watcher sync.WaitGroup
+	watcher.Add(1)
+	go func() {
+		defer watcher.Done()
+		select {
+		case <-ctx.Done():
+			fail(ctx.Err())
+		case <-jobDone:
+		}
+	}()
+
+	results := make([]*workerResult, m)
+	var wg sync.WaitGroup
+	for r := 0; r < m; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			if err := e.runWorker(rank, conns[rank], starts, cap, im, cfg, coll, &comm, run, results); err != nil {
+				fail(err)
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(jobDone)
+	watcher.Wait()
+
+	if err := coll.abortError(); err != nil {
+		return nil, err
+	}
+	for r, res := range results {
+		if res == nil {
+			// Unreachable: a handler that returns without a result also
+			// returns an error, which aborts above. Guard the assembly
+			// against future handler changes rather than panicking.
+			return nil, fmt.Errorf("distengine: worker %d finished without a result", r)
+		}
+	}
+
+	// Assemble the output from the band results. Global stats are
+	// identical on every worker (they flow through the collectives); take
+	// rank 0's.
+	out := make([]int32, im.W*im.H)
+	var splitWall time.Duration
+	for r, res := range results {
+		copy(out[starts[r]*im.W:], res.Labels)
+		if d := time.Duration(res.SplitWallNanos); d > splitWall {
+			splitWall = d
+		}
+	}
+	totalWall := time.Since(t0)
+	r0 := results[0]
+	mergesPerIter := make([]int, len(r0.MergesPerIter))
+	for i, v := range r0.MergesPerIter {
+		mergesPerIter[i] = int(v)
+	}
+	seg := &core.Segmentation{
+		W: im.W, H: im.H,
+		Labels:            out,
+		SplitIterations:   r0.SplitIterations,
+		MergeIterations:   r0.MergeIterations,
+		SquaresAfterSplit: r0.Squares,
+		MergesPerIter:     mergesPerIter,
+		ForcedResolutions: r0.Forced,
+		SplitWall:         splitWall,
+		MergeWall:         totalWall - splitWall,
+		Comm: &core.CommStats{
+			Messages:  comm.messages.Load(),
+			Words:     comm.words.Load(),
+			Barriers:  comm.barriers.Load(),
+			Gathers:   comm.gathers.Load(),
+			Reduces:   comm.reduces.Load(),
+			Exchanges: comm.exchanges.Load(),
+		},
+	}
+	seg.FillRegions(im)
+	run.Emit(core.StageEvent{Kind: core.EventMergeDone, Iterations: seg.MergeIterations, Regions: seg.FinalRegions})
+	return seg, nil
+}
+
+// syncErr classifies a collective error for a connection handler: once
+// the collective is aborted the teardown is already in flight, so the
+// handler just unwinds; a round error without an abort (e.g. malformed
+// exchange routing from one worker) must propagate so the caller aborts
+// the job — otherwise every handler would swallow it and the coordinator
+// would try to assemble nil results.
+func syncErr(coll *collective, err error) error {
+	if coll.abortError() != nil {
+		return nil
+	}
+	return err
+}
+
+// runWorker drives one worker connection: send the job frame, then serve
+// its collective requests until the result frame arrives. It returns nil
+// on a normal result and the failure otherwise (including reads cut short
+// by an abort teardown — the collective's abort error wins over those).
+func (e *Engine) runWorker(rank int, wc *wconn, starts []int, cap int, im *pixmap.Image, cfg core.Config, coll *collective, comm *commCounters, run core.Run, results []*workerResult) error {
+	j := &job{
+		Rank:       rank,
+		Workers:    len(starts) - 1,
+		W:          im.W,
+		H:          im.H,
+		Cap:        cap,
+		Threshold:  cfg.Threshold,
+		Tie:        int32(cfg.Tie),
+		Seed:       cfg.Seed,
+		BandStarts: starts,
+		Pix:        im.Pix[starts[rank]*im.W : starts[rank+1]*im.W],
+	}
+	if err := wc.write(frameJob, j.encode()); err != nil {
+		return fmt.Errorf("distengine: sending job to worker %d: %w", rank, err)
+	}
+	for {
+		ft, payload, err := readFrame(wc.r)
+		if err != nil {
+			if aerr := coll.abortError(); aerr != nil {
+				return nil // the abort path closed the connection under us
+			}
+			return fmt.Errorf("distengine: worker %d connection: %w", rank, err)
+		}
+		comm.messages.Add(1)
+		comm.words.Add(int64(len(payload) / 4))
+		switch ft {
+		case frameReduce:
+			d := dec{b: payload}
+			op := d.bytes(1)
+			seq := d.u32()
+			val := d.i64()
+			if d.err != nil {
+				return fmt.Errorf("distengine: worker %d: malformed reduce", rank)
+			}
+			var kind roundKind
+			switch op[0] {
+			case opMax:
+				kind = roundReduceMax
+				comm.reduces.Add(1)
+			case opSum:
+				kind = roundReduceSum
+				comm.reduces.Add(1)
+			case opBarrier:
+				kind = roundBarrier
+				comm.barriers.Add(1)
+			default:
+				return fmt.Errorf("distengine: worker %d: unknown reduce op %d", rank, op[0])
+			}
+			r, err := coll.sync(rank, kind, seq, val, nil)
+			if err != nil {
+				return syncErr(coll, err)
+			}
+			var e2 enc
+			e2.i64(r.val)
+			if err := wc.write(frameReduceResult, e2.b); err != nil {
+				return fmt.Errorf("distengine: answering worker %d: %w", rank, err)
+			}
+		case frameGather:
+			d := dec{b: payload}
+			seq := d.u32()
+			data := d.i32s()
+			if d.err != nil {
+				return fmt.Errorf("distengine: worker %d: malformed gather", rank)
+			}
+			comm.gathers.Add(1)
+			r, err := coll.sync(rank, roundGather, seq, 0, data)
+			if err != nil {
+				return syncErr(coll, err)
+			}
+			var e2 enc
+			e2.i32s(r.gather)
+			if err := wc.write(frameGatherResult, e2.b); err != nil {
+				return fmt.Errorf("distengine: answering worker %d: %w", rank, err)
+			}
+		case frameExchange:
+			d := dec{b: payload}
+			seq := d.u32()
+			var routed []int32
+			for d.err == nil && len(d.b) > 0 {
+				dst := d.i32()
+				data := d.i32s()
+				routed = append(routed, dst, int32(len(data)))
+				routed = append(routed, data...)
+			}
+			if d.err != nil {
+				return fmt.Errorf("distengine: worker %d: malformed exchange", rank)
+			}
+			comm.exchanges.Add(1)
+			r, err := coll.sync(rank, roundExchange, seq, 0, routed)
+			if err != nil {
+				return syncErr(coll, err)
+			}
+			var e2 enc
+			e2.i32s(r.route[rank])
+			if err := wc.write(frameExchangeResult, e2.b); err != nil {
+				return fmt.Errorf("distengine: answering worker %d: %w", rank, err)
+			}
+		case frameEvent:
+			ev, err := decodeEvent(payload)
+			if err != nil {
+				return fmt.Errorf("distengine: worker %d: malformed event", rank)
+			}
+			if rank == 0 {
+				run.Emit(core.StageEvent{
+					Kind:       core.EventKind(ev.Kind),
+					Iteration:  int(ev.Iteration),
+					Merges:     int(ev.Merges),
+					Iterations: int(ev.Iterations),
+					Squares:    int(ev.Squares),
+					Regions:    int(ev.Regions),
+				})
+			}
+		case frameResult:
+			res, err := decodeWorkerResult(payload)
+			if err != nil {
+				return fmt.Errorf("distengine: worker %d: malformed result: %w", rank, err)
+			}
+			want := (starts[rank+1] - starts[rank]) * im.W
+			if len(res.Labels) != want {
+				return fmt.Errorf("distengine: worker %d returned %d labels, want %d", rank, len(res.Labels), want)
+			}
+			results[rank] = res
+			return nil
+		case frameError:
+			return fmt.Errorf("distengine: worker %d failed: %s", rank, payload)
+		default:
+			return fmt.Errorf("distengine: worker %d sent unexpected frame %d", rank, ft)
+		}
+	}
+}
+
+var _ core.ContextEngine = (*Engine)(nil)

@@ -18,6 +18,12 @@ const (
 	// so experiment tables can carry a native row next to the paper's five;
 	// it is not in AllConfigs and has no cost Profile (Get panics for it).
 	HostNative
+
+	// HostCluster identifies the distributed engine, which runs the
+	// algorithm across real worker processes over TCP and simulates no
+	// machine. Like HostNative it is not in AllConfigs and has no cost
+	// Profile (Get panics for it).
+	HostCluster
 )
 
 // AllConfigs lists the five configurations in table order.
@@ -40,6 +46,8 @@ func (c ConfigID) String() string {
 		return "F77 + CMMD on CM-5 (32 nodes, Async)"
 	case HostNative:
 		return "Native goroutines on host"
+	case HostCluster:
+		return "Distributed workers over TCP"
 	default:
 		return fmt.Sprintf("ConfigID(%d)", int(c))
 	}
@@ -60,6 +68,8 @@ func (c ConfigID) Short() string {
 		return "CM5-Async"
 	case HostNative:
 		return "native"
+	case HostCluster:
+		return "dist"
 	default:
 		return fmt.Sprintf("cfg%d", int(c))
 	}
@@ -126,6 +136,8 @@ func Get(c ConfigID) *Profile {
 		}
 	case HostNative:
 		panic("machine: HostNative runs on the host and has no cost profile")
+	case HostCluster:
+		panic("machine: HostCluster runs on real workers and has no cost profile")
 	default:
 		panic(fmt.Sprintf("machine: unknown config %d", int(c)))
 	}

@@ -77,6 +77,12 @@ func LoadPGM(path string) (*Image, error) {
 	return im, nil
 }
 
+// MaxPGMPixels bounds the pixel count a PGM header may declare
+// (64M pixels — an 8192×8192 image). A 30-byte header must not be able to
+// demand a multi-gigabyte allocation before the pixel data is even read;
+// streams declaring more are rejected as malformed.
+const MaxPGMPixels = 1 << 26
+
 // ReadPGM parses a PGM stream in either P2 (ASCII) or P5 (binary) form.
 func ReadPGM(r io.Reader) (*Image, error) {
 	br := bufio.NewReader(r)
@@ -102,6 +108,9 @@ func ReadPGM(r io.Reader) (*Image, error) {
 	w, h, maxval := dims[0], dims[1], dims[2]
 	if w < 0 || h < 0 || maxval <= 0 || maxval > 255 {
 		return nil, fmt.Errorf("pixmap: unsupported PGM geometry %dx%d maxval %d", w, h, maxval)
+	}
+	if w > 0 && h > MaxPGMPixels/w {
+		return nil, fmt.Errorf("pixmap: PGM declares %dx%d pixels, more than the %d-pixel limit", w, h, MaxPGMPixels)
 	}
 	im := New(w, h)
 	if magic == "P5" {

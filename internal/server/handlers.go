@@ -50,6 +50,11 @@ func (s *Server) parseSegmentParams(q url.Values) (*segmentRequest, error) {
 		if req.kind, err = regiongrow.ParseEngineKind(v); err != nil {
 			return nil, err
 		}
+		if _, ok := s.segmenters[req.kind]; !ok {
+			// Only the Distributed kind is conditional: it exists when the
+			// server was started with cluster workers.
+			return nil, fmt.Errorf("engine %q is not enabled on this server (start regiongrowd with -cluster host:port,... to serve it)", v)
+		}
 	}
 	if v := q.Get("tie"); v != "" {
 		if req.cfg.Tie, err = regiongrow.ParseTiePolicy(v); err != nil {

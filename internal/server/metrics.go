@@ -82,17 +82,19 @@ type metrics struct {
 	perEngine          map[string]*histogram
 }
 
-// allKinds enumerates every engine kind the service accepts — the single
-// list both the per-kind Segmenter table and the histogram pre-allocation
-// build from, so they can never drift apart.
+// allKinds enumerates every engine kind the service accepts
+// unconditionally — the base of the single list both the per-kind
+// Segmenter table and the histogram pre-allocation build from, so they
+// can never drift apart. Server.New appends Distributed when cluster
+// workers are configured.
 func allKinds() []regiongrow.EngineKind {
 	return append(regiongrow.AllEngineKinds(),
 		regiongrow.SequentialEngine, regiongrow.NativeParallel)
 }
 
-func newMetrics() *metrics {
+func newMetrics(kinds []regiongrow.EngineKind) *metrics {
 	m := &metrics{start: time.Now(), perEngine: make(map[string]*histogram)}
-	for _, k := range allKinds() {
+	for _, k := range kinds {
 		m.perEngine[k.String()] = &histogram{}
 	}
 	return m

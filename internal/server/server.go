@@ -45,6 +45,11 @@ type Options struct {
 	// stays retrievable; <=0 selects 15 minutes. Expired records are
 	// swept lazily on submissions and lookups.
 	JobTTL time.Duration
+	// ClusterWorkers lists regiongrow-worker addresses; when non-empty,
+	// the Distributed engine ("dist") is served through them. When empty,
+	// dist requests are rejected with a hint to start the server with
+	// -cluster.
+	ClusterWorkers []string
 	// Segment replaces the pooled per-engine Segmenters; nil selects
 	// them. Tests use it to control job timing.
 	Segment SegmentFunc
@@ -94,16 +99,24 @@ type Server struct {
 // New builds a Server and starts its worker pool.
 func New(opts Options) *Server {
 	opts = opts.withDefaults()
+	kinds := allKinds()
+	if len(opts.ClusterWorkers) > 0 {
+		kinds = append(kinds, regiongrow.Distributed)
+	}
 	s := &Server{
 		opts:       opts,
 		cache:      newResultCache(opts.CacheEntries),
-		metrics:    newMetrics(),
+		metrics:    newMetrics(kinds),
 		jobs:       newJobStore(opts.JobCapacity, opts.JobTTL),
 		mux:        http.NewServeMux(),
 		segmenters: make(map[regiongrow.EngineKind]*regiongrow.Segmenter),
 	}
-	for _, k := range allKinds() {
-		sg, err := regiongrow.New(k)
+	for _, k := range kinds {
+		var kopts []regiongrow.Option
+		if k == regiongrow.Distributed {
+			kopts = append(kopts, regiongrow.WithClusterWorkers(opts.ClusterWorkers))
+		}
+		sg, err := regiongrow.New(k, kopts...)
 		if err != nil {
 			panic(err) // unreachable: every listed kind is constructible
 		}

@@ -53,10 +53,15 @@ func RenderTable(w io.Writer, exp Experiment) {
 	for _, r := range exp.Rows {
 		split, merge := r.SplitSecs, r.MergeSecs
 		note := ""
-		if r.Config == machine.HostNative {
+		switch r.Config {
+		case machine.HostNative:
 			// The native engine models no machine; report host wall time.
 			split, merge = r.WallSplit, r.WallMerge
 			note = "   (host wall time)"
+		case machine.HostCluster:
+			// The distributed engine likewise reports real wall time.
+			split, merge = r.WallSplit, r.WallMerge
+			note = "   (cluster wall time)"
 		}
 		fmt.Fprintf(w, "%-36s %9.3f %6d %9.3f %6d",
 			r.Config, split, r.SplitIters, merge, r.MergeIters)
@@ -92,7 +97,7 @@ func BarChart(w io.Writer, title string, exps []Experiment) {
 	for _, e := range exps {
 		fmt.Fprintf(w, "%s\n", e.Image)
 		for _, r := range e.Rows {
-			if r.Config == machine.HostNative {
+			if r.Config == machine.HostNative || r.Config == machine.HostCluster {
 				continue
 			}
 			n := int(r.MergeSecs / maxV * width)

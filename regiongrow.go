@@ -1,12 +1,14 @@
 // Package regiongrow reproduces "Solving the Region Growing Problem on the
 // Connection Machine" (Copty, Ranka, Fox, Shankar; ICPP 1993): parallel
-// image segmentation by split-and-merge region growing, in four execution
+// image segmentation by split-and-merge region growing, in five execution
 // models — a sequential reference, a data-parallel (CM Fortran / CM-2
 // style) engine on a simulated SIMD machine, a message-passing
 // (F77 + CMMD / CM-5 style) engine on a simulated multicomputer with the
-// paper's Linear Permutation and Async communication schemes, and a native
+// paper's Linear Permutation and Async communication schemes, a native
 // shared-memory engine that runs the algorithm on host goroutines with no
-// simulated machine.
+// simulated machine, and a distributed engine that runs the same
+// message-passing protocol across real regiongrow-worker processes over
+// TCP (New(Distributed, WithClusterWorkers(addrs))).
 //
 // Quick start — construct a reusable Segmenter session and run it with a
 // context:
@@ -125,7 +127,9 @@ type EngineKind int
 // machine configurations and report simulated stage times in
 // Segmentation.SplitSim / MergeSim. NativeParallel runs the algorithm on
 // host goroutines (worker pool sized to GOMAXPROCS) and reports host wall
-// times only.
+// times only. Distributed runs it across real worker processes over TCP
+// (construct with New and WithClusterWorkers) and reports wall times plus
+// real communication counters in Segmentation.Comm.
 const (
 	SequentialEngine EngineKind = iota
 	CM2DataParallel8K
@@ -134,6 +138,7 @@ const (
 	CM5LinearPermutation
 	CM5Async
 	NativeParallel
+	Distributed
 )
 
 // String returns a stable name for the engine kind.
@@ -153,6 +158,8 @@ func (k EngineKind) String() string {
 		return "cm5-async"
 	case NativeParallel:
 		return "native"
+	case Distributed:
+		return "dist"
 	default:
 		return fmt.Sprintf("EngineKind(%d)", int(k))
 	}
@@ -163,12 +170,12 @@ func (k EngineKind) String() string {
 func ParseEngineKind(s string) (EngineKind, error) {
 	for _, k := range []EngineKind{SequentialEngine, CM2DataParallel8K,
 		CM2DataParallel16K, CM5DataParallel, CM5LinearPermutation, CM5Async,
-		NativeParallel} {
+		NativeParallel, Distributed} {
 		if strings.EqualFold(k.String(), s) {
 			return k, nil
 		}
 	}
-	return 0, fmt.Errorf("regiongrow: unknown engine %q (want sequential, cm2-8k, cm2-16k, cm5-cmf, cm5-lp, cm5-async, or native)", s)
+	return 0, fmt.Errorf("regiongrow: unknown engine %q (want sequential, cm2-8k, cm2-16k, cm5-cmf, cm5-lp, cm5-async, native, or dist)", s)
 }
 
 // MarshalText implements encoding.TextMarshaler with the String name, so
@@ -259,6 +266,8 @@ func NewEngine(kind EngineKind) (Engine, error) {
 		return mpengine.New(machine.CM5_Async)
 	case NativeParallel:
 		return shmengine.New(), nil
+	case Distributed:
+		return nil, fmt.Errorf("regiongrow: the distributed engine needs worker addresses; construct it with New(Distributed, WithClusterWorkers(addrs))")
 	default:
 		return nil, fmt.Errorf("regiongrow: unknown engine kind %d", int(kind))
 	}

@@ -11,7 +11,7 @@ import (
 // name that survives a String/ParseEngineKind round trip; unknown names
 // are rejected with a descriptive error.
 func TestEngineKindRoundTrip(t *testing.T) {
-	kinds := append([]EngineKind{SequentialEngine, NativeParallel}, AllEngineKinds()...)
+	kinds := append([]EngineKind{SequentialEngine, NativeParallel, Distributed}, AllEngineKinds()...)
 	for _, k := range kinds {
 		name := k.String()
 		if name == "" || strings.HasPrefix(name, "EngineKind(") {

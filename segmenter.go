@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"regiongrow/internal/core"
+	"regiongrow/internal/distengine"
 	"regiongrow/internal/shmengine"
 )
 
@@ -139,26 +140,51 @@ func WithWorkers(n int) Option {
 	}
 }
 
+// WithClusterWorkers points the Distributed engine at its worker
+// processes (regiongrow-worker listen addresses, one band per worker —
+// small images use a prefix of the list). It is required for, and only
+// valid on, New(Distributed).
+func WithClusterWorkers(addrs []string) Option {
+	return func(s *Segmenter) error {
+		if s.kind != Distributed {
+			return fmt.Errorf("regiongrow: WithClusterWorkers applies only to Distributed, not %v", s.kind)
+		}
+		if len(addrs) == 0 {
+			return fmt.Errorf("regiongrow: WithClusterWorkers needs at least one worker address")
+		}
+		s.eng = distengine.New(addrs)
+		return nil
+	}
+}
+
 // New constructs a reusable Segmenter for the engine kind. Options set
 // session defaults (tie policy, threshold, seed, square cap), the
 // progress observer, and buffer pooling; see the Option constructors.
 func New(kind EngineKind, opts ...Option) (*Segmenter, error) {
-	eng, err := NewEngine(kind)
-	if err != nil {
-		return nil, err
+	s := &Segmenter{kind: kind, pooling: true}
+	if kind != Distributed {
+		// The Distributed engine is constructed by WithClusterWorkers —
+		// it is the one kind that cannot exist without configuration.
+		eng, err := NewEngine(kind)
+		if err != nil {
+			return nil, err
+		}
+		ce, ok := eng.(core.ContextEngine)
+		if !ok {
+			// Unreachable: every shipped engine is context-aware; the
+			// assertion guards future engine additions.
+			return nil, fmt.Errorf("regiongrow: engine %v does not support contexts", kind)
+		}
+		s.eng = ce
 	}
-	ce, ok := eng.(core.ContextEngine)
-	if !ok {
-		// Unreachable: every shipped engine is context-aware; the
-		// assertion guards future engine additions.
-		return nil, fmt.Errorf("regiongrow: engine %v does not support contexts", kind)
-	}
-	s := &Segmenter{kind: kind, eng: ce, pooling: true}
 	s.scratch.New = func() any { return new(core.Scratch) }
 	for _, opt := range opts {
 		if err := opt(s); err != nil {
 			return nil, err
 		}
+	}
+	if s.eng == nil {
+		return nil, fmt.Errorf("regiongrow: the distributed engine needs worker addresses; pass WithClusterWorkers")
 	}
 	return s, nil
 }
