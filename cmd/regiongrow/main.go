@@ -59,6 +59,8 @@ func (t *stageTracker) Observe(ev regiongrow.StageEvent) {
 		t.stage.Store("merge")
 	case regiongrow.EventMergeIteration:
 		t.iter.Store(int64(ev.Iteration))
+	case regiongrow.EventMergeDone:
+		t.stage.Store("finalize")
 	}
 }
 

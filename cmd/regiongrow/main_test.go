@@ -1,0 +1,34 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"regiongrow"
+)
+
+// TestStageTrackerCoversEveryStage: every stage event moves the tracker
+// forward — EventMergeDone in particular must advance past "merge", so a
+// timeout firing during finalize is not misreported as a stalled merge.
+func TestStageTrackerCoversEveryStage(t *testing.T) {
+	tr := &stageTracker{}
+	if got := tr.String(); !strings.Contains(got, "startup") {
+		t.Errorf("zero tracker = %q, want startup", got)
+	}
+	steps := []struct {
+		ev   regiongrow.StageEvent
+		want string
+	}{
+		{regiongrow.StageEvent{Kind: regiongrow.EventSplitStart}, "split"},
+		{regiongrow.StageEvent{Kind: regiongrow.EventSplitDone}, "graph build"},
+		{regiongrow.StageEvent{Kind: regiongrow.EventGraphDone}, "merge"},
+		{regiongrow.StageEvent{Kind: regiongrow.EventMergeIteration, Iteration: 3}, "iteration 3"},
+		{regiongrow.StageEvent{Kind: regiongrow.EventMergeDone}, "finalize"},
+	}
+	for _, s := range steps {
+		tr.Observe(s.ev)
+		if got := tr.String(); !strings.Contains(got, s.want) {
+			t.Errorf("after %v: String() = %q, want substring %q", s.ev.Kind, got, s.want)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package distengine
+
+import (
+	"bufio"
+	"errors"
+	"net"
+	"os"
+	"testing"
+	"time"
+)
+
+// TestWriteWithinTimesOutOnStalledPeer: a frame write to a peer that
+// never drains its socket must surface as a deadline error promptly, not
+// block the handler. net.Pipe is unbuffered, so the write blocks until
+// the deadline fires.
+func TestWriteWithinTimesOutOnStalledPeer(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+
+	wc := &wconn{c: a, r: bufio.NewReader(a), w: bufio.NewWriter(a)}
+	start := time.Now()
+	err := wc.writeWithin(frameAbort, nil, 50*time.Millisecond)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("writeWithin to a stalled peer returned nil, want a deadline error")
+	}
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Errorf("writeWithin error = %v, want os.ErrDeadlineExceeded", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Errorf("writeWithin took %v to fail, want around the 50ms deadline", elapsed)
+	}
+}
+
+// deadlineRecorder is a stub net.Conn that records whether a write
+// deadline was armed before the first Write.
+type deadlineRecorder struct {
+	net.Conn // nil; only the methods below are called
+	deadline time.Time
+	armed    bool // deadline was set before the first Write
+	wrote    bool
+}
+
+func (d *deadlineRecorder) Write(p []byte) (int, error) {
+	if !d.wrote {
+		d.armed = !d.deadline.IsZero()
+		d.wrote = true
+	}
+	return len(p), nil
+}
+
+func (d *deadlineRecorder) SetWriteDeadline(t time.Time) error {
+	d.deadline = t
+	return nil
+}
+
+// TestLinkSendArmsDeadline: every worker-side frame write goes out under
+// the per-frame deadline — the regression here was frame writes with no
+// deadline at all, which hang forever on a stalled coordinator.
+func TestLinkSendArmsDeadline(t *testing.T) {
+	rec := &deadlineRecorder{}
+	l := &link{c: rec, w: bufio.NewWriter(rec)}
+	before := time.Now()
+	if err := l.send(frameEvent, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if !rec.wrote {
+		t.Fatal("send never reached the conn")
+	}
+	if !rec.armed {
+		t.Fatal("send wrote to the conn before arming a write deadline")
+	}
+	if got := rec.deadline.Sub(before); got < frameWriteTimeout-time.Second || got > frameWriteTimeout+time.Minute {
+		t.Errorf("deadline armed %v ahead, want about frameWriteTimeout (%v)", got, frameWriteTimeout)
+	}
+}
+
+// TestWconnWriteArmsDeadline: the coordinator's shared write path arms
+// the default per-frame deadline too.
+func TestWconnWriteArmsDeadline(t *testing.T) {
+	rec := &deadlineRecorder{}
+	wc := &wconn{c: rec, w: bufio.NewWriter(rec)}
+	if err := wc.write(frameJob, []byte{9}); err != nil {
+		t.Fatal(err)
+	}
+	if !rec.armed {
+		t.Fatal("write wrote to the conn before arming a write deadline")
+	}
+}

@@ -69,8 +69,19 @@ type wconn struct {
 }
 
 func (wc *wconn) write(t frameType, payload []byte) error {
+	return wc.writeWithin(t, payload, frameWriteTimeout)
+}
+
+// writeWithin serializes one frame write under its own deadline, so a
+// worker that stops reading surfaces as a timeout instead of blocking
+// the handler (writeFrame flushes, so the deadline covers the socket
+// write). The abort path passes a tighter bound.
+func (wc *wconn) writeWithin(t frameType, payload []byte, d time.Duration) error {
 	wc.mu.Lock()
 	defer wc.mu.Unlock()
+	if err := wc.c.SetWriteDeadline(time.Now().Add(d)); err != nil { //vet:timing deadline arithmetic; never reaches wire payload bytes
+		return err
+	}
 	return writeFrame(wc.w, t, payload)
 }
 
@@ -116,7 +127,7 @@ func (e *Engine) SegmentContext(ctx context.Context, im *pixmap.Image, cfg core.
 	starts[m] = im.H
 
 	run.Emit(core.StageEvent{Kind: core.EventSplitStart})
-	t0 := time.Now()
+	t0 := time.Now() //vet:timing total wall-time for Stats; never reaches labels or frames
 
 	conns := make([]*wconn, m)
 	defer func() {
@@ -132,6 +143,7 @@ func (e *Engine) SegmentContext(ctx context.Context, im *pixmap.Image, cfg core.
 		if err != nil {
 			return nil, fmt.Errorf("distengine: dialing worker %d at %s: %w", r, e.addrs[r], err)
 		}
+		//vet:nodeadline writes set per-frame deadlines in wconn.writeWithin; reads unblock via fail's Close (worker compute time is unbounded, so no read deadline applies)
 		conns[r] = &wconn{c: c, r: bufio.NewReader(c), w: bufio.NewWriter(c)}
 	}
 
@@ -143,18 +155,18 @@ func (e *Engine) SegmentContext(ctx context.Context, im *pixmap.Image, cfg core.
 	// blocked on I/O unwind too. The write deadline is set on the raw
 	// conn first (legal concurrently, no lock needed): it interrupts a
 	// handler blocked mid-write to a stalled peer — releasing wconn.mu —
-	// and bounds the abort write itself, so a worker that stops reading
-	// can never stall cancellation.
+	// and the abort frame itself goes out under a tight 2-second bound,
+	// so a worker that stops reading can never stall cancellation.
 	var failOnce sync.Once
 	fail := func(err error) {
 		failOnce.Do(func() {
 			coll.abort(err)
-			deadline := time.Now().Add(2 * time.Second)
+			deadline := time.Now().Add(2 * time.Second) //vet:timing deadline arithmetic; never reaches wire payload bytes
 			for _, wc := range conns {
 				_ = wc.c.SetWriteDeadline(deadline)
 			}
 			for _, wc := range conns {
-				_ = wc.write(frameAbort, nil)
+				_ = wc.writeWithin(frameAbort, nil, 2*time.Second)
 				wc.c.Close()
 			}
 		})
@@ -212,7 +224,7 @@ func (e *Engine) SegmentContext(ctx context.Context, im *pixmap.Image, cfg core.
 			splitWall = d
 		}
 	}
-	totalWall := time.Since(t0)
+	totalWall := time.Since(t0) //vet:timing total wall-time for Stats; never reaches labels or frames
 	r0 := results[0]
 	mergesPerIter := make([]int, len(r0.MergesPerIter))
 	for i, v := range r0.MergesPerIter {

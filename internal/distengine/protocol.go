@@ -5,11 +5,18 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"time"
 )
 
 // ProtocolVersion is bumped whenever a frame layout changes; a worker
 // refuses a job whose version differs rather than mis-parsing it.
 const ProtocolVersion = 1
+
+// frameWriteTimeout bounds every frame write on both ends of a
+// connection. A write only blocks when the peer stops draining its
+// socket — a healthy peer always reads, however long its own compute
+// takes — so the deadline bounds peer failure, not job length.
+const frameWriteTimeout = 30 * time.Second
 
 // frameType tags one length-prefixed frame on a coordinator↔worker
 // connection. The protocol is deliberately tiny: one job frame down, then

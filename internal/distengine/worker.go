@@ -46,28 +46,29 @@ func ServeWorker(l net.Listener) error {
 // are reported to the coordinator as an error frame; aborts and dead
 // connections end the job silently.
 func serveConn(conn net.Conn) {
-	lk := &link{r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}
+	//vet:nodeadline writes set per-frame deadlines in link.send; reads wait on collectives gated by other bands' unbounded compute, and a dead coordinator tears the conn down
+	lk := &link{c: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}
 	ft, payload, err := readFrame(lk.r)
 	if err != nil {
 		return
 	}
 	if ft != frameJob {
-		_ = writeFrame(lk.w, frameError, []byte(fmt.Sprintf("expected job frame, got %d", ft)))
+		_ = lk.send(frameError, []byte(fmt.Sprintf("expected job frame, got %d", ft)))
 		return
 	}
 	j, err := decodeJob(payload)
 	if err != nil {
-		_ = writeFrame(lk.w, frameError, []byte(err.Error()))
+		_ = lk.send(frameError, []byte(err.Error()))
 		return
 	}
 	res, err := runBand(j, lk)
 	switch {
 	case err == nil:
-		_ = writeFrame(lk.w, frameResult, res.encode())
+		_ = lk.send(frameResult, res.encode())
 	case errors.Is(err, errAborted):
 		// Abandoned cleanly; nothing to send on a torn-down job.
 	default:
-		_ = writeFrame(lk.w, frameError, []byte(err.Error()))
+		_ = lk.send(frameError, []byte(err.Error()))
 	}
 }
 
@@ -76,15 +77,27 @@ func serveConn(conn net.Conn) {
 // closed connection) surfaces as errAborted from whichever collective was
 // pending.
 type link struct {
+	c   net.Conn
 	r   *bufio.Reader
 	w   *bufio.Writer
 	seq uint32
 }
 
+// send writes one frame under a per-frame deadline on the underlying
+// conn: a coordinator that stops draining its socket surfaces as a
+// timeout instead of blocking the worker forever (writeFrame flushes, so
+// the deadline covers the socket write).
+func (l *link) send(t frameType, payload []byte) error {
+	if err := l.c.SetWriteDeadline(time.Now().Add(frameWriteTimeout)); err != nil { //vet:timing deadline arithmetic; never reaches wire payload bytes
+		return err
+	}
+	return writeFrame(l.w, t, payload)
+}
+
 // roundTrip sends one collective frame and reads its response, which must
 // be of type want or an abort.
 func (l *link) roundTrip(t frameType, payload []byte, want frameType) ([]byte, error) {
-	if err := writeFrame(l.w, t, payload); err != nil {
+	if err := l.send(t, payload); err != nil {
 		return nil, errAborted
 	}
 	ft, resp, err := readFrame(l.r)
@@ -183,7 +196,7 @@ func (l *link) exchange(outbound map[int][]int32) (srcs []int32, datas [][]int32
 // sendEvent streams one stage event to the coordinator (fire-and-forget;
 // only rank 0 calls it).
 func (l *link) sendEvent(ev event) error {
-	if err := writeFrame(l.w, frameEvent, ev.encode()); err != nil {
+	if err := l.send(frameEvent, ev.encode()); err != nil {
 		return errAborted
 	}
 	return nil
@@ -227,7 +240,7 @@ func runBand(j *job, lk *link) (*workerResult, error) {
 	}
 	st.rows = st.y1 - st.y0
 
-	tSplit := time.Now()
+	tSplit := time.Now() //vet:timing stage wall-time for Stats; never reaches labels or frames
 	st.splitLocal()
 	red, err := lk.allReduceMax(st.localIters)
 	if err != nil {
@@ -237,7 +250,7 @@ func runBand(j *job, lk *link) (*workerResult, error) {
 	if st.numSquares, err = lk.allReduceSum(len(st.ownedIDs)); err != nil {
 		return nil, err
 	}
-	splitWall := time.Since(tSplit)
+	splitWall := time.Since(tSplit) //vet:timing stage wall-time for Stats; never reaches labels or frames
 	if j.Rank == 0 {
 		if err := lk.sendEvent(event{Kind: evSplitDone, Iterations: int32(st.splitIters), Squares: int32(st.numSquares)}); err != nil {
 			return nil, err
@@ -412,6 +425,7 @@ func (st *bandState) mergeLoop() error {
 			if !alive {
 				continue
 			}
+			//vet:ordered OR-reduction into a flag commutes across iteration orders
 			for w := range adj {
 				if st.crit.Homogeneous(st.iv[v].Union(st.iv[w])) {
 					anyActive = 1
@@ -468,6 +482,7 @@ func (st *bandState) mergeIteration(policy rag.TiePolicy) (int, error) {
 		}
 		bestW := -1
 		tied = tied[:0]
+		//vet:ordered min-reduction; the tie list is sorted inside rag.PickTied before any order-dependent use
 		for w := range adj {
 			if !st.crit.Homogeneous(st.iv[v].Union(st.iv[w])) {
 				continue
@@ -488,10 +503,16 @@ func (st *bandState) mergeIteration(policy rag.TiePolicy) (int, error) {
 	}
 
 	// Route each choice (v, w) to owner(w) so mutual pairs are detectable
-	// on both sides.
+	// on both sides. Iterate owned IDs, not the choice map: outbound
+	// payloads are wire bytes, and the protocol promises byte-stable
+	// frames run to run.
 	outbound := make(map[int][]int32)
 	suitors := make(map[int32][]int32) // chosen vertex -> suitor IDs
-	for v, w := range choice {
+	for _, v := range st.ownedIDs {
+		w, ok := choice[v]
+		if !ok {
+			continue
+		}
 		o := st.owner(w)
 		if o == st.j.Rank {
 			suitors[w] = append(suitors[w], v)
@@ -509,10 +530,12 @@ func (st *bandState) mergeIteration(policy rag.TiePolicy) (int, error) {
 		}
 	}
 
-	// Mutual pairs; the loser's owner emits the merge event.
+	// Mutual pairs; the loser's owner emits the merge event. Ascending
+	// owned-ID order keeps the event payload — wire bytes — byte-stable.
 	var events []int32 // flat (rep, loser, lo, hi)
-	for v, w := range choice {
-		if w >= v {
+	for _, v := range st.ownedIDs {
+		w, ok := choice[v]
+		if !ok || w >= v {
 			continue // loser = max(v, w) = v emits
 		}
 		mutual := false
@@ -559,6 +582,7 @@ func (st *bandState) mergeIteration(policy rag.TiePolicy) (int, error) {
 	// form a matching, so one relabeling level suffices.
 	for v, adjSet := range st.adj {
 		var add, del []int32
+		//vet:ordered del/add are applied below as keyed set deletions/insertions, which commute
 		for w := range adjSet {
 			if r, ok := mergeMap[w]; ok {
 				del = append(del, w)
@@ -576,8 +600,16 @@ func (st *bandState) mergeIteration(policy rag.TiePolicy) (int, error) {
 	}
 
 	// Hand each absorbed loser's adjacency to its representative's owner.
+	// Losers and their adjacency are visited in ascending ID order: the
+	// handover payloads are wire bytes and must be byte-stable run to run.
+	losers := make([]int32, 0, len(mergeMap))
+	for loser := range mergeMap {
+		losers = append(losers, loser)
+	}
+	sort.Slice(losers, func(i, j int) bool { return losers[i] < losers[j] })
 	handover := make(map[int][]int32)
-	for loser, rep := range mergeMap {
+	for _, loser := range losers {
+		rep := mergeMap[loser]
 		adjSet, ok := st.adj[loser]
 		if !ok {
 			continue // not owned here
@@ -589,14 +621,20 @@ func (st *bandState) mergeIteration(policy rag.TiePolicy) (int, error) {
 				repAdj = make(map[int32]struct{})
 				st.adj[rep] = repAdj
 			}
+			//vet:ordered keyed set union commutes across iteration orders
 			for w := range adjSet {
 				if w != rep {
 					repAdj[w] = struct{}{}
 				}
 			}
 		} else {
-			payload := []int32{rep, int32(len(adjSet))}
+			ws := make([]int32, 0, len(adjSet))
 			for w := range adjSet {
+				ws = append(ws, w)
+			}
+			sort.Slice(ws, func(i, j int) bool { return ws[i] < ws[j] })
+			payload := []int32{rep, int32(len(adjSet))}
+			for _, w := range ws {
 				iv := st.iv[w]
 				payload = append(payload, w, int32(iv.Lo), int32(iv.Hi))
 			}

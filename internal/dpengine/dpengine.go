@@ -65,19 +65,19 @@ func (e *Engine) SegmentContext(ctx context.Context, im *pixmap.Image, cfg core.
 	seg := &core.Segmentation{W: im.W, H: im.H}
 
 	run.Emit(core.StageEvent{Kind: core.EventSplitStart})
-	t0 := time.Now()
+	t0 := time.Now() //vet:timing stage wall-time for Stats; never reaches labels or wire bytes
 	sp, err := e.split(ctx, m, im, cfg)
 	if err != nil {
 		return nil, err
 	}
 	seg.SplitIterations = sp.iterations
 	seg.SquaresAfterSplit = sp.numSquares
-	seg.SplitWall = time.Since(t0)
+	seg.SplitWall = time.Since(t0) //vet:timing stage wall-time for Stats; never reaches labels or wire bytes
 	seg.SplitSim = m.Clock()
 	run.Emit(core.StageEvent{Kind: core.EventSplitDone, Iterations: sp.iterations, Squares: sp.numSquares})
 
 	m.ResetClock()
-	t1 := time.Now()
+	t1 := time.Now() //vet:timing stage wall-time for Stats; never reaches labels or wire bytes
 	labels, stats, err := e.merge(ctx, m, im, cfg, sp, run)
 	if err != nil {
 		return nil, err
@@ -86,7 +86,7 @@ func (e *Engine) SegmentContext(ctx context.Context, im *pixmap.Image, cfg core.
 	seg.MergeIterations = stats.Iterations
 	seg.MergesPerIter = stats.MergesPerIter
 	seg.ForcedResolutions = stats.ForcedResolutions
-	seg.MergeWall = time.Since(t1)
+	seg.MergeWall = time.Since(t1) //vet:timing stage wall-time for Stats; never reaches labels or wire bytes
 	seg.MergeSim = m.Clock()
 
 	seg.FillRegions(im)
@@ -163,6 +163,11 @@ func (e *Engine) split(ctx context.Context, m *simdvm.Machine, im *pixmap.Image,
 	label := m.SelfIndex(w, h)
 	claimed := m.NewBoolGrid(w, h)
 	for l := top; l >= 1; l-- {
+		// Each level is a full-grid gather pass; keep the claim stage as
+		// cancellable as the combine stage above.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		s := int32(1 << l)
 		ox := col.Sub(col.ModC(s))
 		oy := row.Sub(row.ModC(s))

@@ -126,10 +126,10 @@ func (e *Engine) SegmentContext(ctx context.Context, im *pixmap.Image, cfg core.
 	var splitWallMax time.Duration
 
 	run.Emit(core.StageEvent{Kind: core.EventSplitStart})
-	t0 := time.Now()
+	t0 := time.Now() //vet:timing total wall-time for Stats; never reaches labels or messages
 	_, clusterStats, err := mpvm.Run(e.nodes, e.prof, func(n *mpvm.Node) error {
 		st := &nodeState{n: n, g: g, e: e, im: im, cfg: cfg, cap: cap, crit: cfg.Criterion(), ctx: ctx, run: run}
-		tSplit := time.Now()
+		tSplit := time.Now() //vet:timing stage wall-time for Stats; never reaches labels or messages
 		st.splitLocal()
 		code := st.localIters
 		if ctx.Err() != nil {
@@ -144,7 +144,7 @@ func (e *Engine) SegmentContext(ctx context.Context, im *pixmap.Image, cfg core.
 		n.Barrier()
 		simSplit := n.Clock()
 		wallMu.Lock()
-		if d := time.Since(tSplit); d > splitWallMax {
+		if d := time.Since(tSplit); d > splitWallMax { //vet:timing stage wall-time for Stats; never reaches labels or messages
 			splitWallMax = d
 		}
 		wallMu.Unlock()
@@ -172,7 +172,7 @@ func (e *Engine) SegmentContext(ctx context.Context, im *pixmap.Image, cfg core.
 		}
 		return nil
 	})
-	totalWall := time.Since(t0)
+	totalWall := time.Since(t0) //vet:timing total wall-time for Stats; never reaches labels or messages
 	if err != nil {
 		return nil, err
 	}
@@ -418,6 +418,7 @@ func (st *nodeState) mergeLoop() error {
 			if _, alive := st.adj[v]; !alive {
 				continue
 			}
+			//vet:ordered OR-reduction into a flag plus a count; both commute across iteration orders
 			for w := range st.adj[v] {
 				scanned++
 				if st.crit.Homogeneous(st.iv[v].Union(st.iv[w])) {
@@ -484,6 +485,7 @@ func (st *nodeState) mergeIteration(policy rag.TiePolicy) int {
 		}
 		bestW := -1
 		tied = tied[:0]
+		//vet:ordered min-reduction plus count; the tie list is sorted inside rag.PickTied before any order-dependent use
 		for w := range adj {
 			scanned++
 			wt := st.weight(v, w)
@@ -505,10 +507,16 @@ func (st *nodeState) mergeIteration(policy rag.TiePolicy) int {
 	}
 	st.n.Charge(scanned*6 + len(choice)*4)
 
-	// Step 3b: route each choice (v, w) to owner(w).
+	// Step 3b: route each choice (v, w) to owner(w). Iterate owned IDs,
+	// not the choice map, so the routed payloads are byte-stable run to
+	// run — the same bytes the distributed engine puts on real sockets.
 	outbound := make(map[int][]int32)
 	suitors := make(map[int32][]int32) // w -> suitors v
-	for v, w := range choice {
+	for _, v := range st.ownedIDs {
+		w, ok := choice[v]
+		if !ok {
+			continue
+		}
 		o := g.owner(w)
 		if o == st.n.Rank {
 			suitors[w] = append(suitors[w], v)
@@ -517,6 +525,7 @@ func (st *nodeState) mergeIteration(policy rag.TiePolicy) int {
 		}
 	}
 	st.tag += 64
+	//vet:ordered suitor lists are consulted for membership only, so arrival order commutes
 	for _, data := range st.n.Exchange(outbound, st.e.scheme, 1000+st.tag) {
 		for i := 0; i+1 < len(data); i += 2 {
 			suitors[data[i+1]] = append(suitors[data[i+1]], data[i])
@@ -526,8 +535,9 @@ func (st *nodeState) mergeIteration(policy rag.TiePolicy) int {
 	// Step 3c: mutual pairs. Both owners detect; the loser's owner emits
 	// the event.
 	var events []int32 // flat (rep, loser, lo, hi)
-	for v, w := range choice {
-		if w >= v {
+	for _, v := range st.ownedIDs {
+		w, ok := choice[v]
+		if !ok || w >= v {
 			continue // emit from the loser side only: loser = max(v, w) = v
 		}
 		mutual := false
@@ -571,8 +581,10 @@ func (st *nodeState) mergeIteration(policy rag.TiePolicy) int {
 	// Step 4b: relabel owned adjacency through this iteration's map.
 	// Mutual pairs form a matching, so one relabeling level suffices.
 	relabeled := 0
+	//vet:ordered per-vertex set edits and a count are keyed and independent, so vertex visit order commutes
 	for v, adjSet := range st.adj {
 		var add, del []int32
+		//vet:ordered del/add are applied below as keyed set deletions/insertions, which commute
 		for w := range adjSet {
 			if r, ok := mergeMap[w]; ok {
 				del = append(del, w)
@@ -592,8 +604,16 @@ func (st *nodeState) mergeIteration(policy rag.TiePolicy) int {
 	st.n.Charge(relabeled * 6)
 
 	// Step 4c: hand the loser's adjacency to the representative's owner.
+	// Losers and their adjacency are visited in ascending ID order so the
+	// handover payloads are byte-stable run to run.
+	losers := make([]int32, 0, len(mergeMap))
+	for loser := range mergeMap {
+		losers = append(losers, loser)
+	}
+	sort.Slice(losers, func(i, j int) bool { return losers[i] < losers[j] })
 	handover := make(map[int][]int32)
-	for loser, rep := range mergeMap {
+	for _, loser := range losers {
+		rep := mergeMap[loser]
 		adjSet, ok := st.adj[loser]
 		if !ok {
 			continue // not owned here
@@ -606,14 +626,20 @@ func (st *nodeState) mergeIteration(policy rag.TiePolicy) int {
 				repAdj = make(map[int32]struct{})
 				st.adj[rep] = repAdj
 			}
+			//vet:ordered keyed set union commutes across iteration orders
 			for w := range adjSet {
 				if w != rep {
 					repAdj[w] = struct{}{}
 				}
 			}
 		} else {
-			payload := []int32{rep, int32(len(adjSet))}
+			ws := make([]int32, 0, len(adjSet))
 			for w := range adjSet {
+				ws = append(ws, w)
+			}
+			sort.Slice(ws, func(i, j int) bool { return ws[i] < ws[j] })
+			payload := []int32{rep, int32(len(adjSet))}
+			for _, w := range ws {
 				iv := st.iv[w]
 				payload = append(payload, w, int32(iv.Lo), int32(iv.Hi))
 			}
@@ -622,6 +648,7 @@ func (st *nodeState) mergeIteration(policy rag.TiePolicy) int {
 		delete(st.adj, loser)
 	}
 	st.tag += 64
+	//vet:ordered keyed set unions and first-writer-wins mirror intervals commute: every sender relabeled with the same matching, so concurrent values agree
 	for _, data := range st.n.Exchange(handover, st.e.scheme, 2000+st.tag) {
 		i := 0
 		for i < len(data) {

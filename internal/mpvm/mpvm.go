@@ -355,6 +355,7 @@ func (n *Node) exchangeLP(out map[int][]int32, tag int) map[int][]int32 {
 	cl := n.cl
 	q := cl.Q
 	row := make([]int32, q)
+	//vet:ordered writes are keyed by destination rank into distinct slots, so iteration order commutes
 	for d, data := range out {
 		row[d] = int32(len(data))
 	}
@@ -395,6 +396,7 @@ func (n *Node) exchangeLP(out map[int][]int32, tag int) map[int][]int32 {
 func (n *Node) exchangeAsync(out map[int][]int32, tag int) map[int][]int32 {
 	q := n.cl.Q
 	row := make([]int32, q)
+	//vet:ordered writes are keyed by destination rank into distinct slots, so iteration order commutes
 	for d, data := range out {
 		if len(data) > 0 {
 			row[d] = 1

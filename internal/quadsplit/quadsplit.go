@@ -172,6 +172,7 @@ func SplitCtx(ctx context.Context, im *pixmap.Image, crit homog.Criterion, opt O
 		lev0.solid = make([]bool, w*h)
 	}
 	levels[0] = lev0
+	//vet:noctx single bounded per-pixel init pass that cannot block; ctx is checked at every split level below
 	for i, p := range im.Pix {
 		levels[0].iv[i] = homog.Point(p)
 		levels[0].solid[i] = true

@@ -129,6 +129,7 @@ func (g *Graph) NumVertices() int { return len(g.Verts) }
 // NumEdges returns the current undirected edge count.
 func (g *Graph) NumEdges() int {
 	total := 0
+	//vet:ordered sum reduction commutes across iteration orders
 	for _, v := range g.Verts {
 		total += len(v.Adj)
 	}
@@ -138,7 +139,9 @@ func (g *Graph) NumEdges() int {
 // ActiveEdges counts edges satisfying the criterion.
 func (g *Graph) ActiveEdges() int {
 	total := 0
+	//vet:ordered count reduction commutes across iteration orders
 	for _, v := range g.Verts {
+		//vet:ordered count reduction commutes across iteration orders
 		for w := range v.Adj {
 			if g.Crit.Homogeneous(v.IV.Union(g.Verts[w].IV)) {
 				total++
@@ -223,6 +226,7 @@ func (g *Graph) Choose(v *Vertex, policy TiePolicy, seed uint64, iter int) int32
 func (g *Graph) ChooseBuf(v *Vertex, policy TiePolicy, seed uint64, iter int, tied []int32) (int32, []int32) {
 	bestW := -1
 	tied = tied[:0]
+	//vet:ordered min-reduction; the tie list is sorted inside PickTied before any order-dependent use
 	for wid := range v.Adj {
 		w := g.Verts[wid]
 		wt := g.Weight(v, w)
@@ -361,6 +365,7 @@ func (g *Graph) MergeAll(policy TiePolicy, seed uint64) (MergeStats, *Assignment
 func (g *Graph) MergeIteration(policy TiePolicy, seed uint64, iter int, asg *Assignments) int {
 	choice := make(map[int32]int32, len(g.Verts))
 	var tied []int32
+	//vet:ordered keyed writes into the choice map commute; the tie scratch is reset per call and sorted inside PickTied
 	for id, v := range g.Verts {
 		var c int32
 		c, tied = g.ChooseBuf(v, policy, seed, iter, tied)
@@ -396,6 +401,7 @@ func (g *Graph) Contract(a, b int32) {
 	}
 	va.IV = va.IV.Union(vb.IV)
 	delete(va.Adj, b)
+	//vet:ordered keyed set edits on the adjacency maps commute
 	for n := range vb.Adj {
 		if n == a {
 			continue

@@ -55,6 +55,7 @@ func (g *Graph) bestActiveEdge() (a, b int32, found bool) {
 	bestW := -1
 	for _, v := range ids {
 		vv := g.Verts[v]
+		//vet:ordered min-reduction with a total lexicographic tie-break, so the scan order cannot change the winner
 		for w := range vv.Adj {
 			if w < v {
 				continue // visit each undirected edge once, from its smaller end

@@ -53,16 +53,16 @@ func (e *Engine) SegmentContext(ctx context.Context, im *pixmap.Image, cfg core.
 	crit := cfg.Criterion()
 
 	run.Emit(core.StageEvent{Kind: core.EventSplitStart})
-	t0 := time.Now()
+	t0 := time.Now() //vet:timing stage wall-time for Stats; never reaches labels or wire bytes
 	sp, err := quadsplit.SplitParallelCtx(ctx, im, crit,
 		quadsplit.Options{MaxSquare: cfg.MaxSquare, Scratch: run.SplitScratch()}, workers)
 	if err != nil {
 		return nil, err
 	}
-	splitWall := time.Since(t0)
+	splitWall := time.Since(t0) //vet:timing stage wall-time for Stats; never reaches labels or wire bytes
 	run.Emit(core.StageEvent{Kind: core.EventSplitDone, Iterations: sp.Iterations, Squares: sp.NumSquares})
 
-	t1 := time.Now()
+	t1 := time.Now() //vet:timing stage wall-time for Stats; never reaches labels or wire bytes
 	g, ids, err := buildRAG(ctx, im, sp.Labels, crit, sp.MaxSquareUsed, workers)
 	if err != nil {
 		return nil, err
@@ -73,7 +73,7 @@ func (e *Engine) SegmentContext(ctx context.Context, im *pixmap.Image, cfg core.
 		return nil, err
 	}
 	labels := relabel(sp.Labels, ids, asg, workers)
-	mergeWall := time.Since(t1)
+	mergeWall := time.Since(t1) //vet:timing stage wall-time for Stats; never reaches labels or wire bytes
 
 	seg := &core.Segmentation{
 		W: im.W, H: im.H,
@@ -191,10 +191,12 @@ func buildRAG(ctx context.Context, im *pixmap.Image, labels []int32, crit homog.
 	// Merge the partial graphs (vertex ID sets are disjoint across bands)
 	// and stitch the edges crossing each band boundary.
 	for _, bg := range partial {
+		//vet:ordered keyed transfer between maps with disjoint key sets commutes
 		for id, v := range bg.Verts {
 			g.Verts[id] = v
 		}
 	}
+	//vet:noctx bounded stitch over at most workers-1 band boundaries, right after the ctx check above; cannot block
 	for _, y1 := range ends {
 		if y1 >= h {
 			continue

@@ -88,15 +88,15 @@ func (a *Vec) SegMinBroadcast(starts *BoolVec, mask *BoolVec, sentinel int32) *V
 // SegRankCount returns, for every element, the exclusive count of masked
 // elements before it within its segment (rank) and the total masked count
 // of its segment (count). Two segmented scans.
-func (a *Machine) SegRankCount(starts *BoolVec, mask *BoolVec) (rank, count *Vec) {
-	a.sameMachine(starts.m)
-	a.sameMachine(mask.m)
+func (m *Machine) SegRankCount(starts *BoolVec, mask *BoolVec) (rank, count *Vec) {
+	m.sameMachine(starts.m)
+	m.sameMachine(mask.m)
 	checkLen("SegRankCount", len(starts.v), len(mask.v))
 	n := len(starts.v)
-	rank = a.NewVec(n)
-	count = a.NewVec(n)
-	a.chargeScan(n)
-	a.chargeScan(n)
+	rank = m.NewVec(n)
+	count = m.NewVec(n)
+	m.chargeScan(n)
+	m.chargeScan(n)
 	var r int32
 	for i := 0; i < n; i++ {
 		if starts.v[i] {

@@ -1,0 +1,47 @@
+#!/usr/bin/env sh
+# lint.sh — the repo's whole static gate, runnable identically on a
+# laptop and in CI: gofmt, go vet, the regiongrowvet analyzer suite
+# (built from tools/regiongrowvet and run through `go vet -vettool`),
+# and staticcheck (configured by staticcheck.conf). CI installs the
+# pinned staticcheck first; locally the step is skipped with a notice
+# when the binary is absent, so the script never needs the network.
+#
+# Usage: scripts/lint.sh   (from anywhere; it cds to the repo root)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+out=$(gofmt -l . | grep -v '^tools/regiongrowvet/vendor/' || true)
+if [ -n "$out" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$out" >&2
+    exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+(cd tools/regiongrowvet && go vet ./...)
+
+echo "== regiongrowvet (build + self-test + tree scan)"
+# CI caches the built binary under $REGIONGROWVET keyed on the hash of
+# tools/regiongrowvet/**, so a cache hit skips the build entirely; the
+# local default is a fresh temp path, which always rebuilds.
+vettool=${REGIONGROWVET:-$(mktemp -d)/regiongrowvet}
+if [ ! -x "$vettool" ]; then
+    (cd tools/regiongrowvet && go build -o "$vettool" .)
+fi
+# The fixture tests are the injected-violation gate: every analyzer must
+# flag its testdata true positives and honor its //vet: suppressions.
+(cd tools/regiongrowvet && go test ./...)
+go vet -vettool="$vettool" ./...
+
+echo "== staticcheck"
+if command -v staticcheck >/dev/null 2>&1; then
+    staticcheck ./...
+    (cd tools/regiongrowvet && staticcheck ./...)
+else
+    echo "staticcheck not installed; skipping (CI runs the pinned version)" >&2
+fi
+
+echo "lint: all clean"

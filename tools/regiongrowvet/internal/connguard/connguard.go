@@ -1,0 +1,241 @@
+// Package connguard implements the regiongrowvet analyzer that enforces
+// the distributed engine's no-hang guarantee (PR 5): socket I/O must be
+// deadline-bounded. A worker or coordinator blocked forever on a peer
+// that silently died (half-open TCP, frozen process) leaks a goroutine —
+// or hangs a whole job — with no way to cancel it from this side.
+//
+// In internal/distengine and internal/server, the analyzer flags a
+// net.Conn read or write that is not preceded — in source order within
+// the same function — by a SetReadDeadline / SetWriteDeadline (or
+// SetDeadline) call on the same conn. "Read" and "write" cover:
+//
+//   - direct conn.Read / conn.Write calls;
+//   - io.ReadFull / io.ReadAtLeast / io.Copy / io.CopyN / io.WriteString
+//     with the conn as the reader/writer argument;
+//   - wrapping the conn in a bufio.Reader / bufio.Writer — buffered frame
+//     I/O is still socket I/O, so the conn must carry a deadline before
+//     the wrapper is built.
+//
+// Source-order precedence approximates dominance: the repo's I/O helpers
+// are straight-line, so a deadline set earlier in the function dominates
+// every later use. Functions that receive an already-guarded conn
+// annotate the use //vet:nodeadline with a pointer to where the deadline
+// is managed.
+package connguard
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"regiongrow/tools/regiongrowvet/internal/directive"
+	"regiongrow/tools/regiongrowvet/internal/vetutil"
+)
+
+var scope = map[string]bool{
+	"regiongrow/internal/distengine": true,
+	"regiongrow/internal/server":     true,
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "rgconnguard",
+	Doc: "flag net.Conn reads/writes not preceded by a deadline on the same conn in the enclosing function\n\n" +
+		"Distengine and the server promise deadline-bounded frame I/O: a peer that stops " +
+		"responding must surface as a timeout, not a hung goroutine. Suppress sites whose " +
+		"deadline is managed elsewhere with //vet:nodeadline <where>.",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !vetutil.InScope(pass, scope) {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		fn := n.(*ast.FuncDecl)
+		if fn.Body == nil || vetutil.InTestFile(pass, fn.Pos()) {
+			return
+		}
+		checkFunc(pass, fn.Body)
+	})
+	return nil, nil
+}
+
+// connUse is one deadline-requiring I/O operation found in a function.
+type connUse struct {
+	pos  token.Pos
+	node ast.Node
+	key  string // canonical conn expression
+	op   string // "read" or "write"
+	desc string
+}
+
+// guard is one Set*Deadline call.
+type guard struct {
+	pos   token.Pos
+	key   string
+	read  bool
+	write bool
+}
+
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	var uses []connUse
+	var guards []guard
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+
+		// conn.Method(...) forms.
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && isConnLike(pass.TypesInfo.TypeOf(sel.X)) {
+			key := exprKey(pass, sel.X)
+			if key != "" {
+				switch sel.Sel.Name {
+				case "SetDeadline":
+					guards = append(guards, guard{call.Pos(), key, true, true})
+				case "SetReadDeadline":
+					guards = append(guards, guard{call.Pos(), key, true, false})
+				case "SetWriteDeadline":
+					guards = append(guards, guard{call.Pos(), key, false, true})
+				case "Read":
+					uses = append(uses, connUse{call.Pos(), call, key, "read", "conn.Read"})
+				case "Write":
+					uses = append(uses, connUse{call.Pos(), call, key, "write", "conn.Write"})
+				}
+			}
+		}
+
+		// io.* helpers and bufio wrappers with a conn argument.
+		if pkg, name, ok := pkgCall(pass, call); ok {
+			check := func(argIdx int, op, desc string) {
+				if argIdx >= len(call.Args) {
+					return
+				}
+				arg := call.Args[argIdx]
+				if isConnLike(pass.TypesInfo.TypeOf(arg)) {
+					if key := exprKey(pass, arg); key != "" {
+						uses = append(uses, connUse{call.Pos(), call, key, op, desc})
+					}
+				}
+			}
+			switch {
+			case pkg == "io" && (name == "ReadFull" || name == "ReadAtLeast"):
+				check(0, "read", "io."+name)
+			case pkg == "io" && (name == "Copy" || name == "CopyN"):
+				check(0, "write", "io."+name) // dst
+				check(1, "read", "io."+name)  // src
+			case pkg == "io" && name == "WriteString":
+				check(0, "write", "io.WriteString")
+			case pkg == "bufio" && name == "NewReader":
+				check(0, "read", "bufio.NewReader over a conn")
+			case pkg == "bufio" && (name == "NewWriter" || name == "NewWriterSize"):
+				check(0, "write", "bufio.NewWriter over a conn")
+			case pkg == "bufio" && name == "NewReaderSize":
+				check(0, "read", "bufio.NewReader over a conn")
+			}
+		}
+		return true
+	})
+
+	for _, u := range uses {
+		ok := false
+		for _, g := range guards {
+			if g.key != u.key || g.pos >= u.pos {
+				continue
+			}
+			if (u.op == "read" && g.read) || (u.op == "write" && g.write) {
+				ok = true
+				break
+			}
+		}
+		if ok || directive.Has(pass, u.node, directive.NoDeadline) {
+			continue
+		}
+		pass.Reportf(u.pos,
+			"%s on %s without a prior Set%sDeadline on the same conn in this function: a silent peer blocks this goroutine forever (set a deadline first, or annotate //vet:nodeadline <where the deadline is managed>)",
+			u.desc, u.key, map[string]string{"read": "Read", "write": "Write"}[u.op])
+	}
+}
+
+// isConnLike reports whether t (or *t) has both deadline setters and
+// Read/Write — structurally net.Conn, including *net.TCPConn and the
+// net.Conn interface itself, and excluding bufio wrappers (no deadline
+// setters).
+func isConnLike(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	ms := types.NewMethodSet(t)
+	if _, ok := t.Underlying().(*types.Interface); !ok {
+		if _, isPtr := t.(*types.Pointer); !isPtr {
+			ms = types.NewMethodSet(types.NewPointer(t))
+		}
+	}
+	has := func(name string) bool {
+		for i := 0; i < ms.Len(); i++ {
+			if ms.At(i).Obj().Name() == name {
+				return true
+			}
+		}
+		return false
+	}
+	return has("SetReadDeadline") && has("SetWriteDeadline") && has("Read") && has("Write")
+}
+
+// exprKey canonicalizes a conn expression for matching guards to uses:
+// the root identifier's object identity plus the selector/index path.
+// Expressions rooted in something unresolvable yield "".
+func exprKey(pass *analysis.Pass, e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := pass.TypesInfo.ObjectOf(x)
+		if obj == nil {
+			return ""
+		}
+		// The object's name is enough within one function: a shadowing
+		// redeclaration of a conn variable between guard and use is not a
+		// pattern this repo's straight-line I/O helpers contain.
+		return obj.Name()
+	case *ast.SelectorExpr:
+		base := exprKey(pass, x.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + x.Sel.Name
+	case *ast.IndexExpr:
+		base := exprKey(pass, x.X)
+		if base == "" {
+			return ""
+		}
+		return base + "[]"
+	case *ast.StarExpr:
+		return exprKey(pass, x.X)
+	default:
+		return ""
+	}
+}
+
+// pkgCall resolves a call of the form pkg.Func.
+func pkgCall(pass *analysis.Pass, call *ast.CallExpr) (pkgPath, name string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	id, isIdent := sel.X.(*ast.Ident)
+	if !isIdent {
+		return "", "", false
+	}
+	pn, isPkg := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !isPkg {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}

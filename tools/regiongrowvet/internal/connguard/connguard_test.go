@@ -1,0 +1,17 @@
+package connguard
+
+import (
+	"testing"
+
+	"regiongrow/tools/regiongrowvet/internal/vettest"
+)
+
+func TestFixture(t *testing.T) {
+	vettest.Run(t, Analyzer, "../../testdata/connguard", "regiongrow/internal/distengine")
+}
+
+// Only distengine and server promise deadline-bounded I/O; the same code
+// elsewhere is out of contract.
+func TestOutOfScopeSilent(t *testing.T) {
+	vettest.RunEmpty(t, Analyzer, "../../testdata/connguard", "regiongrow/internal/rag")
+}

@@ -1,0 +1,17 @@
+package determinism
+
+import (
+	"testing"
+
+	"regiongrow/tools/regiongrowvet/internal/vettest"
+)
+
+func TestFixture(t *testing.T) {
+	vettest.Run(t, Analyzer, "../../testdata/determinism", "regiongrow/internal/rag")
+}
+
+// The same code outside the kernel packages is none of this analyzer's
+// business: internal/server uses wall-clock time for TTLs legitimately.
+func TestOutOfScopeSilent(t *testing.T) {
+	vettest.RunEmpty(t, Analyzer, "../../testdata/determinism", "regiongrow/internal/server")
+}

@@ -1,0 +1,83 @@
+// Package directive resolves the //vet: suppression annotations the
+// regiongrowvet analyzers honour. An annotation is narrowly scoped: it
+// applies to the one line it trails (or the line directly above a
+// statement, comment-style), must name the specific check it suppresses,
+// and should carry a justification after the name:
+//
+//	t0 := time.Now() //vet:timing split-stage wall clock, reporting only
+//
+//	//vet:ordered per-entry relabel; writes commute across iteration order
+//	for v, adjSet := range st.adj {
+package directive
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+	"sync"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// names of the recognised annotations, by analyzer.
+const (
+	Timing     = "timing"     // determinism: wall-clock call is timing-only
+	Ordered    = "ordered"    // determinism: map-iteration order cannot reach output
+	NoCtx      = "noctx"      // ctxloop: loop is bounded / cancellation rides another path
+	NoDeadline = "nodeadline" // connguard: deadline handled elsewhere, justified
+)
+
+// commentsByFile lazily indexes the comment groups of a file.
+type fileComments struct {
+	lines map[int][]string // line -> comment texts on that line
+}
+
+// The cache is shared across analyzers, which unitchecker runs on
+// concurrent goroutines.
+var (
+	cacheMu sync.Mutex
+	cache   = map[*ast.File]*fileComments{}
+)
+
+func index(fset *token.FileSet, f *ast.File) *fileComments {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if fc, ok := cache[f]; ok {
+		return fc
+	}
+	fc := &fileComments{lines: map[int][]string{}}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			line := fset.Position(c.Slash).Line
+			fc.lines[line] = append(fc.lines[line], c.Text)
+		}
+	}
+	cache[f] = fc
+	return fc
+}
+
+// Has reports whether node's line, or the line directly above it, carries
+// a //vet:<name> annotation in its file.
+func Has(pass *analysis.Pass, node ast.Node, name string) bool {
+	pos := pass.Fset.Position(node.Pos())
+	var file *ast.File
+	for _, f := range pass.Files {
+		if pass.Fset.Position(f.Pos()).Filename == pos.Filename {
+			file = f
+			break
+		}
+	}
+	if file == nil {
+		return false
+	}
+	fc := index(pass.Fset, file)
+	want := "//vet:" + name
+	for _, line := range [2]int{pos.Line, pos.Line - 1} {
+		for _, text := range fc.lines[line] {
+			if text == want || strings.HasPrefix(text, want+" ") {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,258 @@
+// Package exhaustive implements the regiongrowvet analyzer that makes
+// the repo's enums closed under extension: every switch over EngineKind,
+// TiePolicy, core.EventKind, or the distengine frame type must either
+// name every declared constant of the type or carry a default clause
+// that terminates (returns — typically an error — or panics). Adding a
+// sixth engine kind, a new stage event, or a new wire frame then breaks
+// the build loudly at every switch that has not decided what to do with
+// it, instead of falling through silently.
+//
+// The check is cross-package: a switch in cmd/regiongrow over
+// core.EventKind sees the constant set of the defining package through
+// its export data.
+package exhaustive
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"regiongrow/tools/regiongrowvet/internal/vetutil"
+)
+
+// targets names the enum types whose switches must be exhaustive, as
+// "package path.TypeName". regiongrow.TiePolicy and regiongrow.StageEvent
+// kinds are aliases of the rag/core types, so they resolve to the same
+// named types.
+var targets = map[string]bool{
+	"regiongrow.EngineKind":                    true,
+	"regiongrow/internal/rag.TiePolicy":        true,
+	"regiongrow/internal/core.EventKind":       true,
+	"regiongrow/internal/distengine.frameType": true,
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "rgexhaustive",
+	Doc: "flag non-exhaustive switches over EngineKind, TiePolicy, EventKind, and the distengine frame type\n\n" +
+		"A switch over one of the repo's enums must name every declared constant or have a " +
+		"default that returns or panics, so adding an engine kind or wire frame cannot fall " +
+		"through silently.",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	ins.Preorder([]ast.Node{(*ast.SwitchStmt)(nil)}, func(n ast.Node) {
+		sw := n.(*ast.SwitchStmt)
+		if sw.Tag == nil || vetutil.InTestFile(pass, sw.Pos()) {
+			return
+		}
+		tagType := pass.TypesInfo.TypeOf(sw.Tag)
+		named := namedTarget(tagType)
+		if named == nil {
+			return
+		}
+		checkSwitch(pass, sw, named)
+	})
+	return nil, nil
+}
+
+// namedTarget resolves t to one of the target named types, through
+// aliases.
+func namedTarget(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	t = types.Unalias(t)
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return nil
+	}
+	if targets[obj.Pkg().Path()+"."+obj.Name()] {
+		return named
+	}
+	return nil
+}
+
+func checkSwitch(pass *analysis.Pass, sw *ast.SwitchStmt, named *types.Named) {
+	consts := declaredConsts(pass, named)
+	if len(consts) == 0 {
+		return
+	}
+
+	covered := map[types.Object]bool{}
+	var defaultClause *ast.CaseClause
+	for _, stmt := range sw.Body.List {
+		cc := stmt.(*ast.CaseClause)
+		if cc.List == nil {
+			defaultClause = cc
+			continue
+		}
+		for _, e := range cc.List {
+			// Resolve the case expression to a declared constant of the
+			// type, through selector or plain identifier (covers aliased
+			// re-exports like regiongrow.RandomTie = rag.Random: the
+			// TypesInfo value is the same constant).
+			if obj := caseObject(pass, e); obj != nil {
+				covered[obj] = true
+				continue
+			}
+			// A case expression that is a constant value but not a named
+			// constant (e.g. a literal): match by value.
+			if tv, ok := pass.TypesInfo.Types[e]; ok && tv.Value != nil {
+				for _, c := range consts {
+					if c.Val().ExactString() == tv.Value.ExactString() {
+						covered[c] = true
+					}
+				}
+			}
+		}
+	}
+
+	if defaultClause != nil {
+		if terminates(defaultClause) {
+			return
+		}
+		pass.Reportf(defaultClause.Pos(),
+			"default clause of a switch over %s neither returns nor panics: an unhandled %s value would fall through silently (return an error for unknown values)",
+			named.Obj().Name(), named.Obj().Name())
+		return
+	}
+
+	var missing []string
+	for _, c := range consts {
+		matched := false
+		for obj := range covered {
+			if sameConst(obj, c) {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			missing = append(missing, c.Name())
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	sort.Strings(missing)
+	pass.Reportf(sw.Pos(),
+		"switch over %s is not exhaustive: missing %s (cover every constant or add a default that returns an error)",
+		named.Obj().Name(), strings.Join(missing, ", "))
+}
+
+// declaredConsts lists the package-level constants of exactly this named
+// type, deduplicated by value. It scans the defining package's scope, the
+// current package's scope, and every direct import's scope: under the
+// unitchecker an *indirectly* imported package is reconstructed from the
+// direct import's export data and its scope holds only the names that
+// API references — the defining package's constants can be invisible
+// there, while their re-exports (regiongrow.EventSplitStart =
+// core.EventSplitStart) are constants of the same type and value in the
+// re-exporting package's complete scope. The tag type is nameable from
+// the current package, so one of these scopes always has the full set.
+func declaredConsts(pass *analysis.Pass, named *types.Named) []*types.Const {
+	defining := named.Obj().Pkg()
+	byValue := map[string]*types.Const{}
+	addScope := func(scope *types.Scope) {
+		for _, name := range scope.Names() {
+			c, ok := scope.Lookup(name).(*types.Const)
+			if !ok || !types.Identical(types.Unalias(c.Type()), named) {
+				continue
+			}
+			key := c.Val().ExactString()
+			// Prefer the defining package's own constant for its canonical
+			// name in diagnostics.
+			if prev, dup := byValue[key]; dup && (prev.Pkg() == defining || c.Pkg() != defining) {
+				continue
+			}
+			byValue[key] = c
+		}
+	}
+	addScope(defining.Scope())
+	addScope(pass.Pkg.Scope())
+	for _, imp := range pass.Pkg.Imports() {
+		addScope(imp.Scope())
+	}
+	out := make([]*types.Const, 0, len(byValue))
+	for _, c := range byValue {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Val().ExactString() < out[j].Val().ExactString() })
+	return out
+}
+
+// caseObject resolves a case expression to the constant object it names,
+// if any.
+func caseObject(pass *analysis.Pass, e ast.Expr) types.Object {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.ObjectOf(x)
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.ObjectOf(x.Sel)
+	}
+	return nil
+}
+
+// sameConst reports whether obj covers the declared constant c: the same
+// object, or a constant of the same type and value (aliased re-exports
+// like regiongrow.SmallestIDTie for rag.SmallestID).
+func sameConst(obj types.Object, c *types.Const) bool {
+	if obj == c {
+		return true
+	}
+	oc, ok := obj.(*types.Const)
+	if !ok {
+		return false
+	}
+	return types.Identical(types.Unalias(oc.Type()), types.Unalias(c.Type())) &&
+		oc.Val().ExactString() == c.Val().ExactString()
+}
+
+// terminates reports whether the clause body always leaves the enclosing
+// function: its last statement is a return, a panic, or an
+// unconditionally-terminating block. This is a syntactic approximation —
+// precise enough for default clauses, which in this repo either return
+// an error or panic with a diagnostic.
+func terminates(cc *ast.CaseClause) bool {
+	if len(cc.Body) == 0 {
+		return false
+	}
+	return stmtTerminates(cc.Body[len(cc.Body)-1])
+}
+
+func stmtTerminates(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+			// log.Fatalf-style terminators.
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok && strings.HasPrefix(sel.Sel.Name, "Fatal") {
+				return true
+			}
+		}
+		return false
+	case *ast.BlockStmt:
+		if len(s.List) == 0 {
+			return false
+		}
+		return stmtTerminates(s.List[len(s.List)-1])
+	default:
+		return false
+	}
+}

@@ -1,0 +1,18 @@
+package exhaustive
+
+import (
+	"testing"
+
+	"regiongrow/tools/regiongrowvet/internal/vettest"
+)
+
+func TestFixture(t *testing.T) {
+	vettest.Run(t, Analyzer, "../../testdata/exhaustive", "regiongrow/internal/distengine")
+}
+
+// The analyzer keys on the fully qualified type: an identically named
+// frameType declared in an unrelated package is not one of the repo's
+// enums, so the same fixture under another path must be silent.
+func TestOtherPackageSilent(t *testing.T) {
+	vettest.RunEmpty(t, Analyzer, "../../testdata/exhaustive", "example.com/other")
+}

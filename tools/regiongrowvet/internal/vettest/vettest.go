@@ -1,0 +1,227 @@
+// Package vettest is a minimal analysistest replacement: the vendored
+// x/tools subset that ships in GOROOT has go/analysis and the
+// unitchecker but not go/analysis/analysistest or go/packages, so this
+// harness loads fixture packages by hand. It parses every .go file in a
+// testdata directory, type-checks it under a caller-chosen import path
+// (the analyzers scope themselves by package path, so fixtures can
+// impersonate regiongrow/internal/distengine without living there), runs
+// one analyzer, and diffs the diagnostics against `// want "regexp"`
+// comments in the fixtures.
+//
+// Fixtures import only the standard library — they are compiled with the
+// source importer, which cannot resolve module-local paths. This is why
+// the connguard fixture declares a structural fake conn and the
+// exhaustive fixture declares its own enum under the impersonated path
+// rather than importing the real types.
+package vettest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// expectation is one `// want "re"` comment: a diagnostic whose message
+// matches re must be reported on that file:line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+var wantRx = regexp.MustCompile(`//\s*want\s+"((?:[^"\\]|\\.)*)"`)
+
+// Run loads the fixture package in dir under the import path pkgPath,
+// runs a, and reports any mismatch between diagnostics and the fixtures'
+// `// want` comments as test failures.
+func Run(t *testing.T, a *analysis.Analyzer, dir, pkgPath string) {
+	t.Helper()
+
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	var files []*ast.File
+	var wants []*expectation
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := parser.ParseFile(fset, path, src, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing %s: %v", path, err)
+		}
+		files = append(files, f)
+		wants = append(wants, parseWants(t, path, src)...)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no fixture files in %s", dir)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "source", nil),
+	}
+	pkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", dir, err)
+	}
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:   a,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        pkg,
+		TypesInfo:  info,
+		TypesSizes: types.SizesFor("gc", "amd64"),
+		ResultOf: map[*analysis.Analyzer]interface{}{
+			inspect.Analyzer: inspector.New(files),
+		},
+		ReadFile: os.ReadFile,
+		Report:   func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	// Match each diagnostic to exactly one expectation at its position.
+	var unexpected []string
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if w.hit || w.file != pos.Filename || w.line != pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			unexpected = append(unexpected,
+				fmt.Sprintf("%s:%d: unexpected diagnostic: %s", filepath.Base(pos.Filename), pos.Line, d.Message))
+		}
+	}
+	var missed []string
+	for _, w := range wants {
+		if !w.hit {
+			missed = append(missed,
+				fmt.Sprintf("%s:%d: expected diagnostic matching %q, got none", filepath.Base(w.file), w.line, w.re))
+		}
+	}
+	sort.Strings(unexpected)
+	sort.Strings(missed)
+	for _, s := range append(unexpected, missed...) {
+		t.Error(s)
+	}
+}
+
+// RunEmpty asserts the analyzer reports nothing for the fixture under
+// pkgPath — used to prove package scoping: the same code that trips an
+// analyzer inside regiongrow/internal/... must be silent elsewhere.
+func RunEmpty(t *testing.T, a *analysis.Analyzer, dir, pkgPath string) {
+	t.Helper()
+
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", dir, err)
+	}
+	pass := &analysis.Pass{
+		Analyzer:   a,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        pkg,
+		TypesInfo:  info,
+		TypesSizes: types.SizesFor("gc", "amd64"),
+		ResultOf: map[*analysis.Analyzer]interface{}{
+			inspect.Analyzer: inspector.New(files),
+		},
+		ReadFile: os.ReadFile,
+		Report: func(d analysis.Diagnostic) {
+			pos := fset.Position(d.Pos)
+			t.Errorf("%s:%d: diagnostic outside analyzer scope (%s): %s",
+				filepath.Base(pos.Filename), pos.Line, pkgPath, d.Message)
+		},
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+}
+
+// parseWants extracts `// want "re"` expectations from one fixture file.
+func parseWants(t *testing.T, path string, src []byte) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for i, line := range strings.Split(string(src), "\n") {
+		m := wantRx.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		// The capture is a Go-string-style escaped regexp; undo the two
+		// escapes the fixtures use (\" and \\).
+		pat := strings.NewReplacer(`\"`, `"`, `\\`, `\`).Replace(m[1])
+		re, err := regexp.Compile(pat)
+		if err != nil {
+			t.Fatalf("%s:%d: bad want pattern %q: %v", path, i+1, pat, err)
+		}
+		out = append(out, &expectation{file: path, line: i + 1, re: re})
+	}
+	return out
+}

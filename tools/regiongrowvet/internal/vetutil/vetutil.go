@@ -1,0 +1,31 @@
+// Package vetutil holds the small helpers the regiongrowvet analyzers
+// share: package scoping and test-file filtering.
+package vetutil
+
+import (
+	"go/token"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// InScope reports whether the pass's package path is one of paths.
+// go vet analyzes test variants of a package under paths like
+// "regiongrow/internal/rag.test" and "regiongrow/internal/rag
+// [regiongrow/internal/rag.test]"; those match their base package.
+func InScope(pass *analysis.Pass, paths map[string]bool) bool {
+	p := pass.Pkg.Path()
+	if i := strings.IndexByte(p, ' '); i >= 0 {
+		p = p[:i]
+	}
+	p = strings.TrimSuffix(p, ".test")
+	p = strings.TrimSuffix(p, "_test")
+	return paths[p]
+}
+
+// InTestFile reports whether pos lies in a _test.go file. The invariants
+// the analyzers prove are about production code; tests exercise
+// nondeterminism and bare loops on purpose.
+func InTestFile(pass *analysis.Pass, pos token.Pos) bool {
+	return strings.HasSuffix(pass.Fset.Position(pos).Filename, "_test.go")
+}

@@ -1,0 +1,42 @@
+// Command regiongrowvet is the repo's custom analyzer suite. It statically
+// enforces the invariants the rest of the repository is built on:
+//
+//   - determinism: no map-iteration-order or wall-clock/randomness leaks in
+//     the segmentation kernels (byte-identical labels are the cache-key and
+//     distributed-protocol contract);
+//   - ctxloop: engine loops respect context cancellation (the Segmenter
+//     contract: cancel aborts within one split/band/merge iteration);
+//   - connguard: socket reads and writes in the distributed engine and the
+//     server are deadline-bounded (the no-hang guarantee);
+//   - exhaustive: switches over the repo's enums (EngineKind, TiePolicy,
+//     core.EventKind, the distengine frame type) cannot silently fall
+//     through when a constant is added.
+//
+// The binary speaks the go vet vettool protocol. Run it over the main
+// module as:
+//
+//	go build -o /tmp/regiongrowvet ./tools/regiongrowvet
+//	go vet -vettool=/tmp/regiongrowvet ./...
+//
+// Deliberate exceptions are annotated at the offending line with a
+// narrowly-scoped //vet: comment (//vet:timing, //vet:ordered,
+// //vet:noctx, //vet:nodeadline), each carrying a justification.
+package main
+
+import (
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"regiongrow/tools/regiongrowvet/internal/connguard"
+	"regiongrow/tools/regiongrowvet/internal/ctxloop"
+	"regiongrow/tools/regiongrowvet/internal/determinism"
+	"regiongrow/tools/regiongrowvet/internal/exhaustive"
+)
+
+func main() {
+	unitchecker.Main(
+		determinism.Analyzer,
+		ctxloop.Analyzer,
+		connguard.Analyzer,
+		exhaustive.Analyzer,
+	)
+}

@@ -1,0 +1,72 @@
+// Fixture for the rgconnguard analyzer, type-checked under
+// regiongrow/internal/distengine (in scope). fakeConn is structurally
+// net.Conn-like (deadline setters + Read/Write), which is exactly what
+// the analyzer keys on — fixtures cannot import module-local packages,
+// and net itself is not needed.
+package fixture
+
+import (
+	"bufio"
+	"time"
+)
+
+type fakeConn struct{}
+
+func (fakeConn) Read(p []byte) (int, error)         { return 0, nil }
+func (fakeConn) Write(p []byte) (int, error)        { return 0, nil }
+func (fakeConn) SetDeadline(t time.Time) error      { return nil }
+func (fakeConn) SetReadDeadline(t time.Time) error  { return nil }
+func (fakeConn) SetWriteDeadline(t time.Time) error { return nil }
+
+// unguardedWrite is the true positive: a silent peer blocks this
+// goroutine forever.
+func unguardedWrite(c fakeConn, p []byte) {
+	c.Write(p) // want "conn.Write on c without a prior SetWriteDeadline"
+}
+
+// guardedWrite sets the matching deadline first — not reported.
+func guardedWrite(c fakeConn, p []byte) {
+	c.SetWriteDeadline(time.Now().Add(time.Second))
+	c.Write(p)
+}
+
+// bothGuarded covers both directions with one SetDeadline — not
+// reported.
+func bothGuarded(c fakeConn, p []byte) {
+	c.SetDeadline(time.Now().Add(time.Second))
+	c.Read(p)
+	c.Write(p)
+}
+
+// wrongDirection guards reads but then writes: the write is still
+// unbounded.
+func wrongDirection(c fakeConn, p []byte) {
+	c.SetReadDeadline(time.Now().Add(time.Second))
+	c.Write(p) // want "conn.Write on c without a prior SetWriteDeadline"
+}
+
+// wrapUnguarded buffers an unguarded conn — buffered frame I/O is still
+// socket I/O.
+func wrapUnguarded(c fakeConn) *bufio.Reader {
+	return bufio.NewReader(c) // want "bufio.NewReader over a conn on c without a prior SetReadDeadline"
+}
+
+// wrapGuarded sets the read deadline before wrapping — not reported.
+func wrapGuarded(c fakeConn) *bufio.Reader {
+	c.SetReadDeadline(time.Now().Add(time.Second))
+	return bufio.NewReader(c)
+}
+
+// managedElsewhere is the annotated false positive: the caller owns the
+// deadline (the pattern serveConn uses for its heartbeat-refreshed
+// conns).
+func managedElsewhere(c fakeConn, p []byte) {
+	c.Read(p) //vet:nodeadline deadline refreshed by the caller per frame
+}
+
+// distinctConns must not satisfy each other's guards: a deadline on a is
+// no bound on b.
+func distinctConns(a, b fakeConn, p []byte) {
+	a.SetWriteDeadline(time.Now().Add(time.Second))
+	b.Write(p) // want "conn.Write on b without a prior SetWriteDeadline"
+}

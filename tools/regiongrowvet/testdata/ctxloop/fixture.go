@@ -1,0 +1,73 @@
+// Fixture for the rgctxloop analyzer, type-checked under
+// regiongrow/internal/dpengine (in scope). kernelWork is declared in
+// this package, so calling it counts as module work — the same trichotomy
+// the real engines present: check ctx, forward ctx, or do no cancellable
+// work.
+package fixture
+
+import "context"
+
+func kernelWork() {}
+
+func step(ctx context.Context) {}
+
+// uncheckedLoop is the true positive: a phase-driving loop running
+// module code that cancellation cannot interrupt.
+func uncheckedLoop(ctx context.Context, rounds int) {
+	for i := 0; i < rounds; i++ { // want "never checks or forwards the context"
+		kernelWork()
+	}
+}
+
+// checkedLoop polls ctx.Err() per iteration — not reported.
+func checkedLoop(ctx context.Context, rounds int) error {
+	for i := 0; i < rounds; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		kernelWork()
+	}
+	return nil
+}
+
+// forwardingLoop delegates the check by passing ctx down — not reported.
+func forwardingLoop(ctx context.Context, rounds int) {
+	for i := 0; i < rounds; i++ {
+		step(ctx)
+	}
+}
+
+// spawningLoop hands ctx to the goroutines it launches; the workers own
+// the cancellation check — not reported.
+func spawningLoop(ctx context.Context, n int) {
+	for i := 0; i < n; i++ {
+		go step(ctx)
+	}
+}
+
+// boundedLoop is the annotated false positive: a fixed-trip-count loop
+// that cannot block.
+func boundedLoop(ctx context.Context) {
+	//vet:noctx fixed 4-iteration prologue, cannot block
+	for i := 0; i < 4; i++ {
+		kernelWork()
+	}
+}
+
+// arithLoop calls nothing from the module — index arithmetic cannot
+// block, so it is exempt without annotation.
+func arithLoop(ctx context.Context, n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	return total
+}
+
+// uncancellableHelper has no ctx parameter at all — out of the
+// analyzer's contract, not reported.
+func uncancellableHelper(rounds int) {
+	for i := 0; i < rounds; i++ {
+		kernelWork()
+	}
+}

@@ -1,0 +1,92 @@
+// Fixture for the rgdeterminism analyzer. The vettest harness
+// type-checks this package under the path regiongrow/internal/rag (in
+// scope) and again under regiongrow/internal/server (out of scope, must
+// be silent). Only the standard library may be imported.
+package fixture
+
+import (
+	_ "math/rand" // want "math/rand is banned in kernel packages"
+	"slices"
+	"sort"
+	"time"
+)
+
+// unsortedOrder is the true positive the analyzer exists for: the slice
+// content order is the map's randomized iteration order.
+func unsortedOrder(weights map[int]float64) []int {
+	var order []int
+	for id := range weights { // want "range over map writes to order without a subsequent sort"
+		order = append(order, id)
+	}
+	return order
+}
+
+// sortedOrder normalizes afterwards — not reported.
+func sortedOrder(weights map[int]float64) []int {
+	var order []int
+	for id := range weights {
+		order = append(order, id)
+	}
+	sort.Ints(order)
+	return order
+}
+
+// slicesSorted uses the slices package's sort — also recognized.
+func slicesSorted(weights map[int]float64) []int {
+	var order []int
+	for id := range weights {
+		order = append(order, id)
+	}
+	slices.Sort(order)
+	return order
+}
+
+// minWeight is the annotated false positive: a min reduction commutes
+// across iteration orders, so the suppression applies.
+func minWeight(weights map[int]float64) float64 {
+	best := -1.0
+	//vet:ordered min reduction commutes across iteration orders
+	for _, w := range weights {
+		if best < 0 || w < best {
+			best = w
+		}
+	}
+	return best
+}
+
+// prune only deletes — removing a set of distinct keys commutes, so
+// delete is deliberately not a write.
+func prune(m map[int]int) {
+	for k := range m {
+		if k < 0 {
+			delete(m, k)
+		}
+	}
+}
+
+// localOnly writes only to loop-local state — not reported.
+func localOnly(weights map[int]float64) {
+	for _, w := range weights {
+		v := w * 2
+		v++
+		_ = v
+	}
+}
+
+// stamp leaks the wall clock with no annotation.
+func stamp() time.Time {
+	return time.Now() // want "time.Now in a kernel package"
+}
+
+// sinceLeak likewise for time.Since.
+func sinceLeak(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "time.Since in a kernel package"
+}
+
+// timedPhase is the annotated exception: wall time feeds a stats report,
+// never labels or wire bytes.
+func timedPhase(work func()) time.Duration {
+	start := time.Now() //vet:timing stage wall-time reporting only
+	work()
+	return time.Since(start) //vet:timing stage wall-time reporting only
+}

@@ -1,0 +1,90 @@
+// Fixture for the rgexhaustive analyzer, type-checked under
+// regiongrow/internal/distengine so the locally declared frameType is
+// the real target "regiongrow/internal/distengine.frameType". The same
+// files type-checked under any other path must be silent: an identically
+// named type elsewhere is not one of the repo's enums.
+package fixture
+
+import "errors"
+
+type frameType byte
+
+const (
+	frameJob frameType = iota + 1
+	frameResult
+	frameError
+)
+
+// incomplete is the true positive: adding a frame kind would fall
+// through silently here.
+func incomplete(ft frameType) string {
+	switch ft { // want "switch over frameType is not exhaustive: missing frameError, frameResult"
+	case frameJob:
+		return "job"
+	}
+	return ""
+}
+
+// complete names every constant — not reported.
+func complete(ft frameType) string {
+	switch ft {
+	case frameJob:
+		return "job"
+	case frameResult:
+		return "result"
+	case frameError:
+		return "error"
+	}
+	return ""
+}
+
+// defaulted is the sanctioned suppression: a default that returns an
+// error decides what happens to unknown values.
+func defaulted(ft frameType) (string, error) {
+	switch ft {
+	case frameJob:
+		return "job", nil
+	default:
+		return "", errors.New("unknown frame kind")
+	}
+}
+
+// panicking defaults also terminate — not reported.
+func panicking(ft frameType) string {
+	switch ft {
+	case frameJob:
+		return "job"
+	default:
+		panic("unknown frame kind")
+	}
+}
+
+// swallowed has a default that neither returns nor panics: an unknown
+// value silently becomes "?" and flows on.
+func swallowed(ft frameType) string {
+	s := ""
+	switch ft {
+	case frameJob:
+		s = "job"
+	default: // want "default clause of a switch over frameType neither returns nor panics"
+		s = "?"
+	}
+	return s
+}
+
+// otherEnum is not one of the repo's enums — switches over it are not
+// checked.
+type otherEnum int
+
+const (
+	alpha otherEnum = iota
+	beta
+)
+
+func overOther(e otherEnum) string {
+	switch e {
+	case alpha:
+		return "a"
+	}
+	return ""
+}
