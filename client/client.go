@@ -46,6 +46,10 @@ var (
 	// ErrBusy reports 429: the server's bounded job queue (or store) has
 	// no free slot right now; retry after a moment.
 	ErrBusy = errors.New("client: server busy")
+	// ErrNoCluster reports a server running without a distributed
+	// cluster: its /v1/cluster endpoints do not exist until regiongrowd is
+	// started with -cluster.
+	ErrNoCluster = errors.New("client: no cluster on this server")
 )
 
 // Client talks to one regiongrowd instance. It is safe for concurrent
@@ -411,6 +415,67 @@ func (c *Client) decodeBatch(hreq *http.Request) ([]BatchResult, error) {
 		return nil, fmt.Errorf("client: decoding batch response: %w", err)
 	}
 	return br.Jobs, nil
+}
+
+// Cluster fetches the distributed cluster's membership, each member
+// freshly health-probed by the server. Servers running without a cluster
+// answer with an error wrapping ErrNoCluster.
+func (c *Client) Cluster(ctx context.Context) (*ClusterStatus, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/cluster", nil)
+	if err != nil {
+		return nil, err
+	}
+	var st ClusterStatus
+	if err := c.decodeCluster(hreq, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// ClusterJoin adds a worker address to the server's distributed cluster,
+// effective at its next distributed job — how a scaled-up worker enters a
+// running regiongrowd without a restart of either side.
+func (c *Client) ClusterJoin(ctx context.Context, addr string) (*ClusterUpdate, error) {
+	return c.clusterMutate(ctx, "join", addr)
+}
+
+// ClusterLeave removes a worker address from the server's distributed
+// cluster, effective at its next distributed job; jobs already running
+// against the worker are unaffected. Removing the last member is refused
+// by the server.
+func (c *Client) ClusterLeave(ctx context.Context, addr string) (*ClusterUpdate, error) {
+	return c.clusterMutate(ctx, "leave", addr)
+}
+
+func (c *Client) clusterMutate(ctx context.Context, verb, addr string) (*ClusterUpdate, error) {
+	v := url.Values{}
+	v.Set("addr", addr)
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/cluster/"+verb+"?"+v.Encode(), nil)
+	if err != nil {
+		return nil, err
+	}
+	var upd ClusterUpdate
+	if err := c.decodeCluster(hreq, &upd); err != nil {
+		return nil, err
+	}
+	return &upd, nil
+}
+
+// decodeCluster runs one cluster-endpoint exchange, translating the 404 a
+// cluster-less server answers with into ErrNoCluster.
+func (c *Client) decodeCluster(hreq *http.Request, into any) error {
+	resp, err := c.do(hreq)
+	if err != nil {
+		if errors.Is(err, ErrNotFound) {
+			return fmt.Errorf("%w (start regiongrowd with -cluster host:port,...)", ErrNoCluster)
+		}
+		return err
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+		return fmt.Errorf("client: decoding cluster response: %w", err)
+	}
+	return nil
 }
 
 // Recoloured segments via the synchronous /v1/segment compatibility path

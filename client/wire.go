@@ -144,6 +144,32 @@ func (e Event) StageEvent() regiongrow.StageEvent {
 	}
 }
 
+// ClusterMember is one distributed-cluster worker: its listen address and
+// the outcome of the health probe GET /v1/cluster ran for it (a
+// dial+ping+pong round trip).
+type ClusterMember struct {
+	Addr    string `json:"addr"`
+	Healthy bool   `json:"healthy"`
+}
+
+// ClusterStatus answers GET /v1/cluster: the cluster membership in
+// banding order, each member freshly health-probed.
+type ClusterStatus struct {
+	Engine  string          `json:"engine"` // always "dist"
+	Workers int             `json:"workers"`
+	Members []ClusterMember `json:"members"`
+}
+
+// ClusterUpdate answers the POST /v1/cluster/join and /v1/cluster/leave
+// mutations: whether the membership changed (false for a join of a
+// present address or a leave of an absent one) and the resulting member
+// list. Changes take effect at the server's next distributed job; no
+// restart is involved.
+type ClusterUpdate struct {
+	Changed bool     `json:"changed"`
+	Members []string `json:"members"`
+}
+
 // BatchManifest is the JSON body of POST /v1/batch: N paper-image/config
 // pairs fanned out as one job each.
 type BatchManifest struct {

@@ -5,16 +5,22 @@
 //
 // Usage:
 //
-//	regiongrow-worker [-listen 127.0.0.1:0]
+//	regiongrow-worker [-listen 127.0.0.1:0] [-idletimeout 60s]
 //
 // The first stdout line is "listening on ADDR" — with port 0, that is how
 // a supervisor discovers the bound port. Point a coordinator at a set of
 // workers with `regiongrow -engine dist -cluster host:port,...` or
 // `regiongrowd -cluster host:port,...`; the coordinator ships each worker
-// its band of pixels, so workers need no access to the image source. On
-// SIGINT/SIGTERM the worker stops accepting, drains in-flight jobs, and
-// exits 0. A coordinator abort (context cancellation) ends only the job,
-// not the process.
+// its band of pixels, so workers need no access to the image source.
+// Workers can join or leave a cluster between jobs: a running regiongrowd
+// picks up membership changes through its /v1/cluster endpoints, without
+// a restart of either side.
+//
+// On SIGINT/SIGTERM the worker stops accepting, finishes any in-flight
+// job, refuses new ones, and exits 0. Idle connections (accepted but with
+// no job yet) are released after -idletimeout, so they cannot hold the
+// drain hostage. A coordinator abort (context cancellation) ends only the
+// job, not the process.
 package main
 
 import (
@@ -28,19 +34,21 @@ import (
 	"syscall"
 
 	"regiongrow/internal/distengine"
+	"regiongrow/internal/transport"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("regiongrow-worker: ")
 	listen := flag.String("listen", "127.0.0.1:0", "TCP address to listen on (port 0 picks a free port)")
+	idle := flag.Duration("idletimeout", 0, "how long an accepted connection may sit without a job before it is dropped (0 = 60s default)")
 	flag.Parse()
 	if flag.NArg() != 0 {
-		fmt.Fprintln(os.Stderr, "usage: regiongrow-worker [-listen 127.0.0.1:0]")
+		fmt.Fprintln(os.Stderr, "usage: regiongrow-worker [-listen 127.0.0.1:0] [-idletimeout 60s]")
 		os.Exit(2)
 	}
 
-	l, err := net.Listen("tcp", *listen)
+	l, err := transport.TCP{}.Listen(*listen)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -54,9 +62,11 @@ func main() {
 		l.Close()
 	}()
 
-	// ServeWorker returns once the listener is closed and in-flight jobs
-	// have drained; the accept error it reports is then the expected one.
-	if err := distengine.ServeWorker(l); err != nil && !errors.Is(err, net.ErrClosed) {
+	// ServeWorkerOpts returns once the listener is closed and in-flight
+	// jobs have drained; the accept error it reports is then the expected
+	// one.
+	err = distengine.ServeWorkerOpts(l, distengine.WorkerOptions{IdleTimeout: *idle})
+	if err != nil && !errors.Is(err, net.ErrClosed) {
 		log.Fatal(err)
 	}
 	log.Print("drained, exiting")

@@ -15,6 +15,12 @@
 // byte-identical to the sequential engine. Without -cluster, engine=dist
 // requests are rejected with a hint.
 //
+// Cluster membership is dynamic: -cluster only seeds it. Workers join and
+// leave a running daemon through POST /v1/cluster/join and /v1/cluster/
+// leave (effective at the next job, no restart of either side), a worker
+// lost mid-job triggers a retry across the members still answering health
+// probes, and GET /v1/cluster reports per-worker health.
+//
 // Endpoints:
 //
 //	POST   /v1/jobs?engine=E&threshold=T&tie=P&seed=S&maxsquare=M
@@ -32,6 +38,9 @@
 //	POST   /v1/segment?…&format=json|pgm
 //	                   the synchronous compatibility path, implemented on
 //	                   the same job machinery
+//	GET    /v1/cluster            membership with per-worker health
+//	POST   /v1/cluster/join?addr=H:P    add a worker (next job onward)
+//	POST   /v1/cluster/leave?addr=H:P   drop a worker (last one refused)
 //	GET    /v1/stats   job-store and queue depth, in-flight jobs, cache
 //	                   hit/miss and cancellation counters, per-stage
 //	                   progress gauges, per-engine latency histograms

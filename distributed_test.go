@@ -70,6 +70,83 @@ func TestDistributedConstruction(t *testing.T) {
 	}
 }
 
+// TestClusterMembership: the Segmenter's membership surface — list,
+// join, leave, health — mutates a live Distributed session (next job
+// picks up the change), guards the last worker, and rejects every other
+// engine kind.
+func TestClusterMembership(t *testing.T) {
+	addrs := startWorkerCluster(t, 2)
+	sess, err := New(Distributed, WithClusterWorkers(addrs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	members, err := sess.ClusterMembers()
+	if err != nil || len(members) != 2 {
+		t.Fatalf("ClusterMembers = %v, %v; want the 2 seeds", members, err)
+	}
+
+	extra := startWorkerCluster(t, 1)[0]
+	if changed, err := sess.ClusterJoin(extra); err != nil || !changed {
+		t.Fatalf("ClusterJoin(%s) = %v, %v; want changed", extra, changed, err)
+	}
+	if changed, err := sess.ClusterJoin(extra); err != nil || changed {
+		t.Fatalf("duplicate ClusterJoin = %v, %v; want unchanged", changed, err)
+	}
+	if _, err := sess.ClusterJoin(""); err == nil {
+		t.Error("ClusterJoin(\"\") succeeded")
+	}
+
+	// The joined worker serves the next job of the live session.
+	im := GeneratePaperImage(Image3Circles128)
+	cfg := Config{Threshold: 10, Tie: SmallestIDTie}
+	want, err := Segment(im, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sess.Segment(context.Background(), im, cfg)
+	if err != nil {
+		t.Fatalf("post-join segment: %v", err)
+	}
+	if !got.EqualLabels(want) {
+		t.Error("post-join labels differ from sequential")
+	}
+
+	health, err := sess.ClusterHealth(context.Background())
+	if err != nil || len(health) != 3 {
+		t.Fatalf("ClusterHealth = %v, %v; want 3 probes", health, err)
+	}
+	for _, h := range health {
+		if !h.Healthy {
+			t.Errorf("worker %s probed unhealthy", h.Addr)
+		}
+	}
+
+	if changed, err := sess.ClusterLeave(extra); err != nil || !changed {
+		t.Fatalf("ClusterLeave(%s) = %v, %v; want changed", extra, changed, err)
+	}
+	if changed, err := sess.ClusterLeave("never-was:1"); err != nil || changed {
+		t.Fatalf("ClusterLeave of a non-member = %v, %v; want unchanged", changed, err)
+	}
+	if changed, err := sess.ClusterLeave(addrs[0]); err != nil || !changed {
+		t.Fatalf("ClusterLeave(%s) = %v, %v; want changed", addrs[0], changed, err)
+	}
+	if _, err := sess.ClusterLeave(addrs[1]); err == nil {
+		t.Error("removing the last worker succeeded")
+	}
+
+	// Every other engine kind refuses the membership surface.
+	seq, err := New(SequentialEngine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := seq.ClusterMembers(); err == nil {
+		t.Error("ClusterMembers on sequential succeeded")
+	}
+	if _, err := seq.ClusterHealth(context.Background()); err == nil {
+		t.Error("ClusterHealth on sequential succeeded")
+	}
+}
+
 // TestClusterRow: the harness's distributed table row validates and
 // reports wall times under the HostCluster config.
 func TestClusterRow(t *testing.T) {

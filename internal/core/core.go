@@ -78,6 +78,10 @@ type CommStats struct {
 	LPSteps int64
 	// Exchanges counts irregular all-to-many exchanges.
 	Exchanges int64
+	// Retries counts whole-job re-runs the distributed engine performed
+	// after losing a worker mid-job (zero everywhere else). The other
+	// counters describe the final, successful attempt only.
+	Retries int64
 }
 
 // Engine runs the split-and-merge algorithm in one of the paper's

@@ -1,90 +1,117 @@
 package distengine
 
 import (
-	"bufio"
 	"errors"
 	"net"
 	"os"
 	"testing"
 	"time"
+
+	"regiongrow/internal/transport"
 )
 
-// TestWriteWithinTimesOutOnStalledPeer: a frame write to a peer that
-// never drains its socket must surface as a deadline error promptly, not
-// block the handler. net.Pipe is unbuffered, so the write blocks until
-// the deadline fires.
-func TestWriteWithinTimesOutOnStalledPeer(t *testing.T) {
+// TestSendTimesOutOnStalledPeer: a frame write to a peer that never
+// drains its link must surface as a deadline error promptly, not block
+// the handler. net.Pipe is unbuffered, so the write blocks until the
+// deadline fires — the slow-loris case the per-frame write bound exists
+// for.
+func TestSendTimesOutOnStalledPeer(t *testing.T) {
 	a, b := net.Pipe()
 	defer a.Close()
 	defer b.Close()
 
-	wc := &wconn{c: a, r: bufio.NewReader(a), w: bufio.NewWriter(a)}
+	wc := transport.WrapConn(a)
 	start := time.Now()
-	err := wc.writeWithin(frameAbort, nil, 50*time.Millisecond)
+	err := wc.Send(transport.Frame{Type: byte(frameAbort)}, 50*time.Millisecond)
 	elapsed := time.Since(start)
 	if err == nil {
-		t.Fatal("writeWithin to a stalled peer returned nil, want a deadline error")
+		t.Fatal("Send to a stalled peer returned nil, want a deadline error")
 	}
 	if !errors.Is(err, os.ErrDeadlineExceeded) {
-		t.Errorf("writeWithin error = %v, want os.ErrDeadlineExceeded", err)
+		t.Errorf("Send error = %v, want os.ErrDeadlineExceeded", err)
 	}
 	if elapsed > 5*time.Second {
-		t.Errorf("writeWithin took %v to fail, want around the 50ms deadline", elapsed)
+		t.Errorf("Send took %v to fail, want around the 50ms deadline", elapsed)
 	}
 }
 
-// deadlineRecorder is a stub net.Conn that records whether a write
-// deadline was armed before the first Write.
-type deadlineRecorder struct {
-	net.Conn // nil; only the methods below are called
-	deadline time.Time
-	armed    bool // deadline was set before the first Write
-	wrote    bool
-}
+// TestRecvTimesOutOnSilentPeer: a bounded read on a link whose peer has
+// gone silent — no protocol frames, no heartbeat pings — must report the
+// deadline instead of waiting forever. This is the read half of the
+// engine's no-hang guarantee: every in-job read passes LinkTimeout.
+func TestRecvTimesOutOnSilentPeer(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
 
-func (d *deadlineRecorder) Write(p []byte) (int, error) {
-	if !d.wrote {
-		d.armed = !d.deadline.IsZero()
-		d.wrote = true
+	wc := transport.WrapConn(a)
+	start := time.Now()
+	_, err := wc.Recv(50 * time.Millisecond)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("Recv from a silent peer returned nil, want a deadline error")
 	}
-	return len(p), nil
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Errorf("Recv error = %v, want os.ErrDeadlineExceeded", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Errorf("Recv took %v to fail, want around the 50ms deadline", elapsed)
+	}
 }
 
-func (d *deadlineRecorder) SetWriteDeadline(t time.Time) error {
-	d.deadline = t
-	return nil
-}
-
-// TestLinkSendArmsDeadline: every worker-side frame write goes out under
-// the per-frame deadline — the regression here was frame writes with no
+// TestLinkSendBounded: every worker-side frame write goes out under the
+// link's write bound — the regression here was frame writes with no
 // deadline at all, which hang forever on a stalled coordinator.
-func TestLinkSendArmsDeadline(t *testing.T) {
-	rec := &deadlineRecorder{}
-	l := &link{c: rec, w: bufio.NewWriter(rec)}
-	before := time.Now()
-	if err := l.send(frameEvent, []byte{1, 2, 3}); err != nil {
-		t.Fatal(err)
+func TestLinkSendBounded(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+
+	lk := &link{c: transport.WrapConn(a), writeTimeout: 50 * time.Millisecond}
+	err := lk.send(frameEvent, []byte{1, 2, 3})
+	if err == nil {
+		t.Fatal("link.send to a stalled coordinator returned nil, want a deadline error")
 	}
-	if !rec.wrote {
-		t.Fatal("send never reached the conn")
-	}
-	if !rec.armed {
-		t.Fatal("send wrote to the conn before arming a write deadline")
-	}
-	if got := rec.deadline.Sub(before); got < frameWriteTimeout-time.Second || got > frameWriteTimeout+time.Minute {
-		t.Errorf("deadline armed %v ahead, want about frameWriteTimeout (%v)", got, frameWriteTimeout)
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Errorf("link.send error = %v, want os.ErrDeadlineExceeded", err)
 	}
 }
 
-// TestWconnWriteArmsDeadline: the coordinator's shared write path arms
-// the default per-frame deadline too.
-func TestWconnWriteArmsDeadline(t *testing.T) {
-	rec := &deadlineRecorder{}
-	wc := &wconn{c: rec, w: bufio.NewWriter(rec)}
-	if err := wc.write(frameJob, []byte{9}); err != nil {
+// TestLinkRecvSkipsPings: liveness pings are transparent to the worker's
+// collective protocol — recv must deliver the next real frame, however
+// many pings precede it.
+func TestLinkRecvSkipsPings(t *testing.T) {
+	mem := transport.NewMem()
+	l, err := mem.Listen("w")
+	if err != nil {
 		t.Fatal(err)
 	}
-	if !rec.armed {
-		t.Fatal("write wrote to the conn before arming a write deadline")
+	coord, err := mem.Dial(t.Context(), "w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	worker, err := l.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer worker.Close()
+
+	for i := 0; i < 3; i++ {
+		if err := coord.Send(transport.Frame{Type: byte(framePing)}, time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := coord.Send(transport.Frame{Type: byte(frameGatherResult), Payload: []byte{9}}, time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	lk := &link{c: worker, writeTimeout: time.Second, linkTimeout: time.Second}
+	ft, payload, err := lk.recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ft != frameGatherResult || len(payload) != 1 || payload[0] != 9 {
+		t.Fatalf("recv = (%d, %v), want the gather result after the pings", ft, payload)
 	}
 }

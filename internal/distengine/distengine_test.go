@@ -2,9 +2,9 @@ package distengine_test
 
 import (
 	"context"
+	"errors"
 	"net"
 	"runtime"
-	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -210,28 +210,32 @@ func TestDistCancelBeforeStart(t *testing.T) {
 	}
 }
 
-// TestDistDialFailure: an unreachable worker yields a descriptive error,
-// not a hang.
+// TestDistDialFailure: a cluster whose only worker is unreachable yields
+// the typed no-healthy-workers error (the dial failure is retryable, the
+// retry probe finds nobody), not a hang.
 func TestDistDialFailure(t *testing.T) {
 	eng := distengine.New([]string{"127.0.0.1:1"})
+	eng.SetTuning(distengine.Tuning{ProbeTimeout: 200 * time.Millisecond})
 	im := pixmap.Generate(pixmap.Image1NestedRects128, pixmap.DefaultGenOptions())
 	_, err := eng.Segment(im, core.Config{Threshold: 10})
-	if err == nil || !strings.Contains(err.Error(), "dialing worker") {
-		t.Fatalf("err = %v, want a dialing error", err)
+	if !errors.Is(err, distengine.ErrNoWorkers) {
+		t.Fatalf("err = %v, want ErrNoWorkers", err)
 	}
 }
 
-// TestDistWorkerDeath: a worker dying mid-job aborts the whole job with an
-// error instead of hanging the coordinator.
+// TestDistWorkerDeath: a worker dying mid-job no longer fails the job —
+// the coordinator retries across the workers that still answer a health
+// probe, re-banding the image, and the labels stay byte-identical to the
+// sequential engine's.
 func TestDistWorkerDeath(t *testing.T) {
 	addrs := startCluster(t, 3)
 	// A trap listener that accepts a connection, reads the job, and drops
-	// the connection without answering any collective.
+	// the connection without answering any collective — then answers no
+	// health probe, like a crashed process whose port is gone.
 	trap, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer trap.Close()
 	go func() {
 		conn, err := trap.Accept()
 		if err != nil {
@@ -240,20 +244,35 @@ func TestDistWorkerDeath(t *testing.T) {
 		buf := make([]byte, 1024)
 		_, _ = conn.Read(buf)
 		conn.Close()
+		trap.Close()
 	}()
 	eng := distengine.New([]string{addrs[0], trap.Addr().String(), addrs[1], addrs[2]})
+	eng.SetTuning(distengine.Tuning{ProbeTimeout: 300 * time.Millisecond})
 	im := pixmap.Generate(pixmap.Image3Circles128, pixmap.DefaultGenOptions())
+	cfg := core.Config{Threshold: 10, Tie: rag.Random, Seed: 1}
+	want, err := core.Sequential{}.Segment(im, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	done := make(chan error, 1)
+	var got *core.Segmentation
 	go func() {
-		_, err := eng.Segment(im, core.Config{Threshold: 10, Tie: rag.Random, Seed: 1})
+		seg, err := eng.Segment(im, cfg)
+		got = seg
 		done <- err
 	}()
 	select {
 	case err := <-done:
-		if err == nil {
-			t.Fatal("segment succeeded despite a dead worker")
+		if err != nil {
+			t.Fatalf("segment did not recover from the dead worker: %v", err)
 		}
-	case <-time.After(15 * time.Second):
+	case <-time.After(30 * time.Second):
 		t.Fatal("coordinator hung on a dead worker")
+	}
+	if !got.EqualLabels(want) {
+		t.Error("recovered labels differ from sequential")
+	}
+	if got.Comm == nil || got.Comm.Retries == 0 {
+		t.Errorf("recovery not recorded in Comm.Retries: %+v", got.Comm)
 	}
 }

@@ -6,29 +6,36 @@
 package disttest
 
 import (
-	"net"
 	"sync"
 	"testing"
 
 	"regiongrow/internal/distengine"
+	"regiongrow/internal/transport"
 )
 
-// StartCluster launches n in-process workers on loopback listeners and
-// returns their addresses. The cleanup registered on tb closes the
+// StartCluster launches n in-process workers on loopback TCP listeners
+// and returns their addresses. The cleanup registered on tb closes the
 // listeners and waits for the serve loops (and their in-flight jobs) to
 // drain.
 func StartCluster(tb testing.TB, n int) []string {
+	return StartClusterOver(tb, transport.TCP{}, n)
+}
+
+// StartClusterOver is StartCluster over an explicit transport: pass
+// transport.TCP{} for loopback sockets or a *transport.Mem (optionally
+// wrapped in a fault injector) for an in-process cluster.
+func StartClusterOver(tb testing.TB, tr transport.Transport, n int) []string {
 	tb.Helper()
 	addrs := make([]string, n)
-	listeners := make([]net.Listener, n)
+	listeners := make([]transport.Listener, n)
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
-		l, err := net.Listen("tcp", "127.0.0.1:0")
+		l, err := tr.Listen(listenAddr(tr))
 		if err != nil {
 			tb.Fatalf("disttest: listen: %v", err)
 		}
 		listeners[i] = l
-		addrs[i] = l.Addr().String()
+		addrs[i] = l.Addr()
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -42,4 +49,13 @@ func StartCluster(tb testing.TB, n int) []string {
 		wg.Wait()
 	})
 	return addrs
+}
+
+// listenAddr picks the "any free endpoint" form for the transport: port
+// 0 on TCP, the auto-assigned name on Mem.
+func listenAddr(tr transport.Transport) string {
+	if _, ok := tr.(transport.TCP); ok {
+		return "127.0.0.1:0"
+	}
+	return ""
 }

@@ -1,22 +1,34 @@
 package distengine
 
 import (
-	"bufio"
 	"encoding/binary"
 	"fmt"
-	"io"
 	"time"
+
+	"regiongrow/internal/transport"
 )
 
 // ProtocolVersion is bumped whenever a frame layout changes; a worker
 // refuses a job whose version differs rather than mis-parsing it.
-const ProtocolVersion = 1
+// Version 2 added ping/pong liveness frames and the job's heartbeat and
+// link-timeout fields.
+const ProtocolVersion = 2
 
 // frameWriteTimeout bounds every frame write on both ends of a
 // connection. A write only blocks when the peer stops draining its
-// socket — a healthy peer always reads, however long its own compute
+// link — a healthy peer always reads, however long its own compute
 // takes — so the deadline bounds peer failure, not job length.
 const frameWriteTimeout = 30 * time.Second
+
+// defaultHeartbeatInterval and defaultLinkTimeout are the liveness
+// defaults both sides fall back to. Each peer sends a ping every
+// interval while a job runs, and bounds every read by the link timeout;
+// the interval is kept a small fraction of the timeout so a healthy but
+// busy peer can never be mistaken for a dead one.
+const (
+	defaultHeartbeatInterval = 10 * time.Second
+	defaultLinkTimeout       = 30 * time.Second
+)
 
 // frameType tags one length-prefixed frame on a coordinator↔worker
 // connection. The protocol is deliberately tiny: one job frame down, then
@@ -55,6 +67,14 @@ const (
 	// frameError (worker → coordinator) reports a worker-side failure; the
 	// coordinator aborts the whole job with the carried message.
 	frameError
+	// framePing is the liveness beacon both sides emit while a job runs:
+	// it carries no payload, expects no reply mid-job, and is skipped by
+	// every reader (and excluded from comm counters). On an idle worker
+	// connection it doubles as a health probe, answered with framePong.
+	framePing
+	// framePong answers a framePing received outside a job — the worker
+	// half of the coordinator's health-probe round trip.
+	framePong
 )
 
 // Reduction operators carried in frameReduce payloads.
@@ -65,42 +85,10 @@ const (
 	opBarrier
 )
 
-// maxFrame bounds a frame payload: a band of a 16k×16k image of int32
-// labels stays well under it, while a corrupt length prefix cannot make a
-// peer allocate gigabytes.
-const maxFrame = 1 << 28
-
-// writeFrame emits one frame: type byte, big-endian uint32 payload length,
-// payload.
-func writeFrame(w *bufio.Writer, t frameType, payload []byte) error {
-	var hdr [5]byte
-	hdr[0] = byte(t)
-	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	if _, err := w.Write(payload); err != nil {
-		return err
-	}
-	return w.Flush()
-}
-
-// readFrame reads one frame, enforcing the payload bound.
-func readFrame(r *bufio.Reader) (frameType, []byte, error) {
-	var hdr [5]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return 0, nil, err
-	}
-	n := binary.BigEndian.Uint32(hdr[1:])
-	if n > maxFrame {
-		return 0, nil, fmt.Errorf("distengine: frame of %d bytes exceeds the %d-byte bound", n, maxFrame)
-	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return 0, nil, err
-	}
-	return frameType(hdr[0]), payload, nil
-}
+// Frame transport (length-prefixed type+payload framing, the MaxFrame
+// payload bound, and all socket/channel mechanics) lives in
+// internal/transport; this package only defines the frame types and
+// payload layouts that ride on it.
 
 // enc is an append-only big-endian payload builder.
 type enc struct{ b []byte }
@@ -187,6 +175,11 @@ type job struct {
 	Threshold     int
 	Tie           int32
 	Seed          uint64
+	// HeartbeatMillis and LinkTimeoutMillis carry the coordinator's
+	// liveness tuning to the worker so both sides of a link agree on the
+	// ping cadence and the silent-peer bound; zero means the default.
+	HeartbeatMillis   uint32
+	LinkTimeoutMillis uint32
 	// BandStarts has Workers+1 entries: band r owns rows
 	// [BandStarts[r], BandStarts[r+1]). Every boundary is a multiple of
 	// Cap (except the last, which is H), so no split square crosses one.
@@ -207,6 +200,8 @@ func (j *job) encode() []byte {
 	e.u32(uint32(j.Threshold))
 	e.i32(j.Tie)
 	e.u64(j.Seed)
+	e.u32(j.HeartbeatMillis)
+	e.u32(j.LinkTimeoutMillis)
 	e.u32(uint32(len(j.BandStarts)))
 	for _, s := range j.BandStarts {
 		e.u32(uint32(s))
@@ -230,8 +225,10 @@ func decodeJob(p []byte) (*job, error) {
 	j.Threshold = int(d.u32())
 	j.Tie = d.i32()
 	j.Seed = d.u64()
+	j.HeartbeatMillis = d.u32()
+	j.LinkTimeoutMillis = d.u32()
 	n := int(d.u32())
-	if d.err == nil && (n != j.Workers+1 || n > maxFrame/4) {
+	if d.err == nil && (n != j.Workers+1 || n > transport.MaxFrame/4) {
 		return nil, fmt.Errorf("distengine: %d band boundaries for %d workers", n, j.Workers)
 	}
 	j.BandStarts = make([]int, n)
@@ -250,6 +247,22 @@ func decodeJob(p []byte) (*job, error) {
 		return nil, fmt.Errorf("distengine: band of %d rows × width %d but %d pixels", rows, j.W, len(j.Pix))
 	}
 	return j, nil
+}
+
+// heartbeat returns the job's ping cadence, defaulted when unset.
+func (j *job) heartbeat() time.Duration {
+	if j.HeartbeatMillis == 0 {
+		return defaultHeartbeatInterval
+	}
+	return time.Duration(j.HeartbeatMillis) * time.Millisecond
+}
+
+// linkTimeout returns the job's silent-peer bound, defaulted when unset.
+func (j *job) linkTimeout() time.Duration {
+	if j.LinkTimeoutMillis == 0 {
+		return defaultLinkTimeout
+	}
+	return time.Duration(j.LinkTimeoutMillis) * time.Millisecond
 }
 
 // workerResult is the decoded frameResult payload.

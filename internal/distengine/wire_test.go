@@ -10,6 +10,7 @@ import (
 	"regiongrow/internal/core"
 	"regiongrow/internal/pixmap"
 	"regiongrow/internal/rag"
+	"regiongrow/internal/transport"
 )
 
 // tapConn wraps a worker-side accepted connection and records both byte
@@ -70,14 +71,14 @@ func frames(t *testing.T, stream []byte) []struct {
 	}
 	r := bufio.NewReader(bytes.NewReader(stream))
 	for {
-		ft, payload, err := readFrame(r)
+		f, err := transport.ReadFrame(r)
 		if err != nil {
 			return out
 		}
 		out = append(out, struct {
 			t frameType
 			p []byte
-		}{ft, payload})
+		}{frameType(f.Type), f.Payload})
 	}
 }
 
@@ -115,7 +116,7 @@ func TestWireByteStability(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			_ = ServeWorker(tl)
+			_ = ServeWorker(transport.WrapListener(tl))
 		}()
 	}
 	defer wg.Wait()

@@ -1,10 +1,8 @@
 package distengine
 
 import (
-	"bufio"
 	"errors"
 	"fmt"
-	"net"
 	"sort"
 	"sync"
 	"time"
@@ -13,6 +11,7 @@ import (
 	"regiongrow/internal/pixmap"
 	"regiongrow/internal/quadsplit"
 	"regiongrow/internal/rag"
+	"regiongrow/internal/transport"
 )
 
 // errAborted is the worker-side sentinel for a coordinator abort frame (or
@@ -20,12 +19,36 @@ import (
 // the job is abandoned without an error of the worker's own.
 var errAborted = errors.New("distengine: job aborted by coordinator")
 
-// ServeWorker accepts coordinator connections on l and runs one
+// WorkerOptions tunes ServeWorkerOpts.
+type WorkerOptions struct {
+	// IdleTimeout bounds the wait for a connection's first frame (and the
+	// gap between health probes on an idle connection). It is what lets a
+	// draining worker exit: a coordinator that connected but never sent a
+	// job cannot hold the drain hostage. Zero means the 60s default;
+	// in-flight jobs are never subject to it.
+	IdleTimeout time.Duration
+}
+
+func (o WorkerOptions) idle() time.Duration {
+	if o.IdleTimeout <= 0 {
+		return 60 * time.Second
+	}
+	return o.IdleTimeout
+}
+
+// ServeWorker accepts coordinator connections on l and serves one
 // segmentation-band job per connection, each on its own goroutine so
 // concurrent coordinators (e.g. two jobs of a serving pool sharing a
 // cluster) cannot deadlock each other. It returns when the listener is
-// closed, after in-flight jobs have drained.
-func ServeWorker(l net.Listener) error {
+// closed, after in-flight jobs have drained: that is the worker's
+// termination pin — finish the job being computed, refuse new ones,
+// exit cleanly.
+func ServeWorker(l transport.Listener) error {
+	return ServeWorkerOpts(l, WorkerOptions{})
+}
+
+// ServeWorkerOpts is ServeWorker with explicit tuning.
+func ServeWorkerOpts(l transport.Listener, opts WorkerOptions) error {
 	var wg sync.WaitGroup
 	for {
 		conn, err := l.Accept()
@@ -37,31 +60,68 @@ func ServeWorker(l net.Listener) error {
 		go func() {
 			defer wg.Done()
 			defer conn.Close()
-			serveConn(conn)
+			serveConn(conn, opts)
 		}()
 	}
 }
 
-// serveConn runs one job over an accepted connection. Worker-side failures
+// serveConn serves one accepted connection: health probes (ping→pong)
+// until a job frame arrives, then exactly one job. Worker-side failures
 // are reported to the coordinator as an error frame; aborts and dead
-// connections end the job silently.
-func serveConn(conn net.Conn) {
-	//vet:nodeadline writes set per-frame deadlines in link.send; reads wait on collectives gated by other bands' unbounded compute, and a dead coordinator tears the conn down
-	lk := &link{c: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}
-	ft, payload, err := readFrame(lk.r)
-	if err != nil {
-		return
+// connections end the job silently. The idle timeout bounds the TOTAL
+// time until the first job frame — pings answered along the way do not
+// extend it — so neither an idle connection nor a ping-only peer (e.g. a
+// coordinator whose job frame was lost) can block a listener drain or
+// hold the worker hostage.
+func serveConn(conn transport.Conn, opts WorkerOptions) {
+	lk := &link{c: conn, writeTimeout: frameWriteTimeout}
+	idleDeadline := time.Now().Add(opts.idle()) //vet:timing idle-deadline arithmetic; never reaches wire payload bytes
+	for {
+		remain := time.Until(idleDeadline) //vet:timing idle-deadline arithmetic; never reaches wire payload bytes
+		if remain <= 0 {
+			return
+		}
+		f, err := conn.Recv(remain)
+		if err != nil {
+			return
+		}
+		switch frameType(f.Type) {
+		case framePing:
+			if lk.send(framePong, nil) != nil {
+				return
+			}
+		case frameJob:
+			j, err := decodeJob(f.Payload)
+			if err != nil {
+				_ = lk.send(frameError, []byte(err.Error()))
+				return
+			}
+			lk.linkTimeout = j.linkTimeout()
+			serveJob(j, lk)
+			return
+		case frameAbort:
+			return
+		default:
+			_ = lk.send(frameError, []byte(fmt.Sprintf("expected job frame, got %d", f.Type)))
+			return
+		}
 	}
-	if ft != frameJob {
-		_ = lk.send(frameError, []byte(fmt.Sprintf("expected job frame, got %d", ft)))
-		return
-	}
-	j, err := decodeJob(payload)
-	if err != nil {
-		_ = lk.send(frameError, []byte(err.Error()))
-		return
-	}
+}
+
+// serveJob runs one decoded job, keeping heartbeats flowing to the
+// coordinator for its whole duration (the coordinator's reads are
+// deadline-bounded; the pings prove this worker alive while it computes).
+func serveJob(j *job, lk *link) {
+	stop := make(chan struct{})
+	var hb sync.WaitGroup
+	hb.Add(1)
+	go func() {
+		defer hb.Done()
+		pingLoop(lk.c, j.heartbeat(), frameWriteTimeout, stop)
+	}()
 	res, err := runBand(j, lk)
+	close(stop)
+	hb.Wait()
 	switch {
 	case err == nil:
 		_ = lk.send(frameResult, res.encode())
@@ -74,24 +134,38 @@ func serveConn(conn net.Conn) {
 
 // link is the worker's half of the lockstep collective protocol: write a
 // request frame, block on the coordinator's response. An abort frame (or a
-// closed connection) surfaces as errAborted from whichever collective was
-// pending.
+// closed or silent connection) surfaces as errAborted from whichever
+// collective was pending.
 type link struct {
-	c   net.Conn
-	r   *bufio.Reader
-	w   *bufio.Writer
-	seq uint32
+	c            transport.Conn
+	writeTimeout time.Duration
+	linkTimeout  time.Duration
+	seq          uint32
 }
 
-// send writes one frame under a per-frame deadline on the underlying
-// conn: a coordinator that stops draining its socket surfaces as a
-// timeout instead of blocking the worker forever (writeFrame flushes, so
-// the deadline covers the socket write).
+// send writes one frame under the per-frame write bound: a coordinator
+// that stops draining the link surfaces as a timeout instead of blocking
+// the worker forever. Sends are concurrency-safe (the heartbeat loop
+// shares the conn), per the transport.Conn contract.
 func (l *link) send(t frameType, payload []byte) error {
-	if err := l.c.SetWriteDeadline(time.Now().Add(frameWriteTimeout)); err != nil { //vet:timing deadline arithmetic; never reaches wire payload bytes
-		return err
+	return l.c.Send(transport.Frame{Type: byte(t), Payload: payload}, l.writeTimeout)
+}
+
+// recv returns the next protocol frame, skipping liveness pings. Each
+// read is bounded by the link timeout; the coordinator's heartbeat keeps
+// the link fed while a collective waits on other bands' compute, so only
+// a genuinely dead coordinator can trip the bound.
+func (l *link) recv() (frameType, []byte, error) {
+	for {
+		f, err := l.c.Recv(l.linkTimeout)
+		if err != nil {
+			return 0, nil, err
+		}
+		if ft := frameType(f.Type); ft == framePing || ft == framePong {
+			continue
+		}
+		return frameType(f.Type), f.Payload, nil
 	}
-	return writeFrame(l.w, t, payload)
 }
 
 // roundTrip sends one collective frame and reads its response, which must
@@ -100,7 +174,7 @@ func (l *link) roundTrip(t frameType, payload []byte, want frameType) ([]byte, e
 	if err := l.send(t, payload); err != nil {
 		return nil, errAborted
 	}
-	ft, resp, err := readFrame(l.r)
+	ft, resp, err := l.recv()
 	if err != nil {
 		return nil, errAborted
 	}

@@ -148,6 +148,9 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobDelete)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("GET /v1/cluster", s.handleClusterGet)
+	s.mux.HandleFunc("POST /v1/cluster/join", s.handleClusterJoin)
+	s.mux.HandleFunc("POST /v1/cluster/leave", s.handleClusterLeave)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s

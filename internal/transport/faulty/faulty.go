@@ -1,0 +1,303 @@
+// Package faulty is the test-only fault-injecting transport wrapper:
+// it decorates any transport.Transport and, on a deterministic script,
+// drops, corrupts, delays, or stalls frames, cuts connections at exact
+// protocol points, and partitions the dialing side from the whole
+// cluster. The distributed engine's chaos suite drives every failure
+// path through it without a single real socket fault.
+//
+// A script is a set of Fault rules registered per worker address. Each
+// rule names a protocol point — the Nth frame of a given type in a given
+// direction, counted cumulatively across every connection to that
+// address — and an action to take there. Rules fire exactly once, so a
+// retried job observes a healed link unless the script says otherwise.
+// Production code must not import this package.
+package faulty
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"regiongrow/internal/transport"
+)
+
+// Dir names a frame direction relative to the wrapped (dialing) side —
+// the coordinator, in the distributed engine.
+type Dir int
+
+const (
+	// Out matches frames the dialer sends (coordinator → worker).
+	Out Dir = iota + 1
+	// In matches frames the dialer receives (worker → coordinator).
+	In
+)
+
+// Act is the action a triggered fault performs.
+type Act int
+
+const (
+	// Drop swallows the frame: an Out frame is reported sent but never
+	// delivered; an In frame is consumed and never surfaced.
+	Drop Act = iota + 1
+	// Corrupt flips bits in the frame's payload, then delivers it.
+	Corrupt
+	// Delay holds the frame for Fault.Delay, then delivers it.
+	Delay
+	// Stall wedges the direction from this frame on: every operation in
+	// it blocks until its own timeout fires or the conn closes — the
+	// slow-loris peer that PR 6's write deadlines exist for.
+	Stall
+	// Cut closes the connection at this point; the frame is lost.
+	Cut
+)
+
+// Fault is one scripted fault at one protocol point.
+type Fault struct {
+	// Dir and Type select the frames this fault counts; Type 0 matches
+	// any frame type.
+	Dir  Dir
+	Type byte
+	// Nth triggers on the n-th matching frame (1-based), counted across
+	// every connection to the address.
+	Nth int
+	// Act is what happens at the trigger point.
+	Act Act
+	// Delay is the hold time for Act Delay.
+	Delay time.Duration
+	// Hook, if set, runs synchronously when the fault triggers — e.g.
+	// Mem.Kill to turn a cut link into a whole dead worker.
+	Hook func()
+
+	seen int
+	done bool
+}
+
+// Transport wraps an inner transport with scripted fault injection on
+// the dialing side. Listeners pass through untouched.
+type Transport struct {
+	inner transport.Transport
+
+	mu          sync.Mutex
+	faults      map[string][]*Fault
+	partitioned bool
+	conns       []*conn
+}
+
+// New wraps inner with an empty script.
+func New(inner transport.Transport) *Transport {
+	return &Transport{inner: inner, faults: make(map[string][]*Fault)}
+}
+
+// Inject registers faults against connections to addr. Each fault fires
+// once; re-Inject to re-arm.
+func (t *Transport) Inject(addr string, faults ...Fault) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := range faults {
+		f := faults[i]
+		t.faults[addr] = append(t.faults[addr], &f)
+	}
+}
+
+// Partition cuts the dialing side off from the whole cluster: every
+// open connection is closed and every future Dial fails until Heal.
+func (t *Transport) Partition() {
+	t.mu.Lock()
+	t.partitioned = true
+	conns := t.conns
+	t.conns = nil
+	t.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// Heal lifts a Partition; existing connections stay dead.
+func (t *Transport) Heal() {
+	t.mu.Lock()
+	t.partitioned = false
+	t.mu.Unlock()
+}
+
+// Listen implements transport.Transport by delegation.
+func (t *Transport) Listen(addr string) (transport.Listener, error) {
+	return t.inner.Listen(addr)
+}
+
+// Dial implements transport.Transport: the returned conn applies the
+// faults scripted for addr.
+func (t *Transport) Dial(ctx context.Context, addr string) (transport.Conn, error) {
+	t.mu.Lock()
+	if t.partitioned {
+		t.mu.Unlock()
+		return nil, fmt.Errorf("faulty: dial %s: partitioned", addr)
+	}
+	t.mu.Unlock()
+	inner, err := t.inner.Dial(ctx, addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &conn{t: t, addr: addr, inner: inner, closed: make(chan struct{})}
+	t.mu.Lock()
+	t.conns = append(t.conns, c)
+	t.mu.Unlock()
+	return c, nil
+}
+
+// match finds and consumes the first armed fault matching a frame
+// passing (addr, dir, frame type), advancing every armed rule's counter.
+func (t *Transport) match(addr string, dir Dir, ft byte) *Fault {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var hit *Fault
+	for _, f := range t.faults[addr] {
+		if f.done || f.Dir != dir || (f.Type != 0 && f.Type != ft) {
+			continue
+		}
+		f.seen++
+		if hit == nil && f.seen == f.Nth {
+			f.done = true
+			hit = f
+		}
+	}
+	return hit
+}
+
+// conn applies the script to one dialed connection.
+type conn struct {
+	t     *Transport
+	addr  string
+	inner transport.Conn
+
+	closed    chan struct{}
+	closeOnce sync.Once
+
+	mu       sync.Mutex
+	outStall bool
+	inStall  bool
+}
+
+func (c *conn) stalled(dir Dir) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if dir == Out {
+		return c.outStall
+	}
+	return c.inStall
+}
+
+func (c *conn) setStalled(dir Dir) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if dir == Out {
+		c.outStall = true
+	} else {
+		c.inStall = true
+	}
+}
+
+// stall blocks like a wedged peer: until the operation's own timeout
+// fires or the conn is torn down.
+func (c *conn) stall(op string, timeout time.Duration) error {
+	var timer <-chan time.Time
+	if timeout > 0 {
+		tm := time.NewTimer(timeout)
+		defer tm.Stop()
+		timer = tm.C
+	}
+	select {
+	case <-timer:
+		return fmt.Errorf("faulty: %s %s stalled: %w", op, c.addr, os.ErrDeadlineExceeded)
+	case <-c.closed:
+		return fmt.Errorf("faulty: %s %s stalled: %w", op, c.addr, transport.ErrClosed)
+	}
+}
+
+func corrupt(f transport.Frame) transport.Frame {
+	p := make([]byte, len(f.Payload))
+	copy(p, f.Payload)
+	for i := 0; i < len(p) && i < 8; i++ {
+		p[i] ^= 0xA5
+	}
+	if len(p) == 0 {
+		// A payload-less frame corrupts into a garbage type instead.
+		return transport.Frame{Type: f.Type ^ 0x7F}
+	}
+	return transport.Frame{Type: f.Type, Payload: p}
+}
+
+// Send implements transport.Conn, applying Out-direction faults.
+func (c *conn) Send(f transport.Frame, timeout time.Duration) error {
+	if c.stalled(Out) {
+		return c.stall("send", timeout)
+	}
+	hit := c.t.match(c.addr, Out, f.Type)
+	if hit == nil {
+		return c.inner.Send(f, timeout)
+	}
+	if hit.Hook != nil {
+		defer hit.Hook()
+	}
+	switch hit.Act {
+	case Drop:
+		return nil
+	case Corrupt:
+		return c.inner.Send(corrupt(f), timeout)
+	case Delay:
+		time.Sleep(hit.Delay)
+		return c.inner.Send(f, timeout)
+	case Stall:
+		c.setStalled(Out)
+		return c.stall("send", timeout)
+	case Cut:
+		c.Close()
+		return fmt.Errorf("faulty: send %s: cut: %w", c.addr, transport.ErrClosed)
+	default:
+		return c.inner.Send(f, timeout)
+	}
+}
+
+// Recv implements transport.Conn, applying In-direction faults to the
+// frames the inner conn delivers.
+func (c *conn) Recv(timeout time.Duration) (transport.Frame, error) {
+	for {
+		if c.stalled(In) {
+			return transport.Frame{}, c.stall("recv", timeout)
+		}
+		f, err := c.inner.Recv(timeout)
+		if err != nil {
+			return transport.Frame{}, err
+		}
+		hit := c.t.match(c.addr, In, f.Type)
+		if hit == nil {
+			return f, nil
+		}
+		if hit.Hook != nil {
+			hit.Hook()
+		}
+		switch hit.Act {
+		case Drop:
+			continue
+		case Corrupt:
+			return corrupt(f), nil
+		case Delay:
+			time.Sleep(hit.Delay)
+			return f, nil
+		case Stall:
+			c.setStalled(In)
+			return transport.Frame{}, c.stall("recv", timeout)
+		case Cut:
+			c.Close()
+			return transport.Frame{}, fmt.Errorf("faulty: recv %s: cut: %w", c.addr, transport.ErrClosed)
+		default:
+			return f, nil
+		}
+	}
+}
+
+func (c *conn) Close() error {
+	c.closeOnce.Do(func() { close(c.closed) })
+	return c.inner.Close()
+}

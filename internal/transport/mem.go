@@ -1,0 +1,246 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+)
+
+// memBuffer is the per-direction frame queue depth. Deep enough that
+// heartbeats never block behind a peer busy computing, small enough that
+// a stalled peer still exerts backpressure (so Send timeouts are
+// reachable in tests).
+const memBuffer = 16
+
+// Mem is the in-process transport: a named registry of listeners whose
+// connections are pairs of buffered frame channels. It runs a whole
+// coordinator-plus-workers cluster inside one process with no sockets —
+// the substrate for the chaos suite's deterministic fault injection and
+// a production path in its own right (a single binary can serve the
+// distributed engine against in-process workers).
+//
+// Addresses are arbitrary names; Listen("") auto-assigns "mem-N".
+type Mem struct {
+	mu        sync.Mutex
+	listeners map[string]*memListener
+	next      int
+}
+
+// NewMem returns an empty in-process transport registry.
+func NewMem() *Mem {
+	return &Mem{listeners: make(map[string]*memListener)}
+}
+
+// Listen implements Transport. An empty addr auto-assigns a fresh name;
+// reusing a live listener's name is an error.
+func (m *Mem) Listen(addr string) (Listener, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if addr == "" {
+		m.next++
+		addr = fmt.Sprintf("mem-%d", m.next)
+	}
+	if _, ok := m.listeners[addr]; ok {
+		return nil, fmt.Errorf("transport: mem address %q already in use", addr)
+	}
+	l := &memListener{
+		m:      m,
+		addr:   addr,
+		accept: make(chan Conn, 8),
+		closed: make(chan struct{}),
+	}
+	m.listeners[addr] = l
+	return l, nil
+}
+
+// Dial implements Transport; it fails like a refused connection when
+// nothing listens at addr.
+func (m *Mem) Dial(ctx context.Context, addr string) (Conn, error) {
+	m.mu.Lock()
+	l := m.listeners[addr]
+	m.mu.Unlock()
+	if l == nil {
+		return nil, fmt.Errorf("transport: mem dial %s: %w", addr, ErrClosed)
+	}
+	a, b := newMemPair(addr)
+	l.mu.Lock()
+	if l.isClosed() {
+		l.mu.Unlock()
+		return nil, fmt.Errorf("transport: mem dial %s: %w", addr, ErrClosed)
+	}
+	l.conns = append(l.conns, b)
+	l.mu.Unlock()
+	select {
+	case l.accept <- b:
+		return a, nil
+	case <-l.closed:
+		return nil, fmt.Errorf("transport: mem dial %s: %w", addr, ErrClosed)
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Kill simulates the abrupt death of the worker process at addr: its
+// listener stops accepting and every connection ever accepted through
+// it is torn down, exactly as the OS would reset a dead process's
+// sockets. Future dials fail until something listens on addr again.
+func (m *Mem) Kill(addr string) {
+	m.mu.Lock()
+	l := m.listeners[addr]
+	m.mu.Unlock()
+	if l == nil {
+		return
+	}
+	l.Close()
+	l.mu.Lock()
+	conns := l.conns
+	l.conns = nil
+	l.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+type memListener struct {
+	m      *Mem
+	addr   string
+	accept chan Conn
+	closed chan struct{}
+
+	mu        sync.Mutex
+	conns     []*memConn // accepted side of every dial, for Kill
+	closeOnce sync.Once
+}
+
+func (l *memListener) isClosed() bool {
+	select {
+	case <-l.closed:
+		return true
+	default:
+		return false
+	}
+}
+
+func (l *memListener) Accept() (Conn, error) {
+	select {
+	case c := <-l.accept:
+		return c, nil
+	case <-l.closed:
+		// Drain dials that raced the close.
+		select {
+		case c := <-l.accept:
+			return c, nil
+		default:
+			return nil, fmt.Errorf("transport: mem listener %s: %w", l.addr, ErrClosed)
+		}
+	}
+}
+
+func (l *memListener) Close() error {
+	l.closeOnce.Do(func() {
+		close(l.closed)
+		l.m.mu.Lock()
+		if l.m.listeners[l.addr] == l {
+			delete(l.m.listeners, l.addr)
+		}
+		l.m.mu.Unlock()
+	})
+	return nil
+}
+
+func (l *memListener) Addr() string { return l.addr }
+
+// memLink is the shared state of one connection pair: two directional
+// frame queues and a single teardown signal — closing either end kills
+// the whole link, the moral equivalent of a TCP reset.
+type memLink struct {
+	ab   chan Frame // a → b
+	ba   chan Frame // b → a
+	done chan struct{}
+	once sync.Once
+}
+
+func (lk *memLink) close() {
+	lk.once.Do(func() { close(lk.done) })
+}
+
+func newMemPair(addr string) (dialer, accepted *memConn) {
+	lk := &memLink{
+		ab:   make(chan Frame, memBuffer),
+		ba:   make(chan Frame, memBuffer),
+		done: make(chan struct{}),
+	}
+	a := &memConn{link: lk, send: lk.ab, recv: lk.ba, addr: addr}
+	b := &memConn{link: lk, send: lk.ba, recv: lk.ab, addr: addr}
+	return a, b
+}
+
+type memConn struct {
+	link *memLink
+	send chan<- Frame
+	recv <-chan Frame
+	addr string
+}
+
+func deadlineErr(op, addr string) error {
+	return fmt.Errorf("transport: mem %s %s: %w", op, addr, os.ErrDeadlineExceeded)
+}
+
+// Send implements Conn. The frame is handed over by reference: senders
+// in this codebase build each payload fresh and never mutate it after
+// Send, matching the ownership rule Recv documents.
+func (c *memConn) Send(f Frame, timeout time.Duration) error {
+	var timer <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		timer = t.C
+	}
+	select {
+	case c.send <- f:
+		return nil
+	case <-c.link.done:
+		return fmt.Errorf("transport: mem send %s: %w", c.addr, ErrClosed)
+	case <-timer:
+		return deadlineErr("send", c.addr)
+	}
+}
+
+// Recv implements Conn. Frames buffered before a close remain
+// deliverable: a worker that sends its result and immediately closes
+// must not lose the result to the teardown race.
+func (c *memConn) Recv(timeout time.Duration) (Frame, error) {
+	select {
+	case f := <-c.recv:
+		return f, nil
+	default:
+	}
+	var timer <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		timer = t.C
+	}
+	select {
+	case f := <-c.recv:
+		return f, nil
+	case <-c.link.done:
+		// The link died while we waited — but a frame may have landed
+		// concurrently; prefer delivering it.
+		select {
+		case f := <-c.recv:
+			return f, nil
+		default:
+			return Frame{}, fmt.Errorf("transport: mem recv %s: %w", c.addr, ErrClosed)
+		}
+	case <-timer:
+		return Frame{}, deadlineErr("recv", c.addr)
+	}
+}
+
+func (c *memConn) Close() error {
+	c.link.close()
+	return nil
+}

@@ -1,0 +1,84 @@
+// Package transport abstracts the framed, bidirectional links the
+// distributed engine runs over. The coordinator↔worker protocol
+// (internal/distengine) is defined purely in terms of Frame, Conn,
+// Transport, and Listener, so the same engine code runs unchanged over
+// real TCP sockets (TCP), over in-process channels (Mem), or — in tests
+// — over the fault-injecting wrapper (transport/faulty) that drops,
+// delays, corrupts, or stalls frames on script.
+//
+// Every Send and Recv takes an explicit timeout: the engine's no-hang
+// guarantee (a peer that stops responding surfaces as an error, never a
+// stuck goroutine) is enforced at this layer, uniformly across
+// implementations. A timeout failure satisfies
+// errors.Is(err, os.ErrDeadlineExceeded); an operation on a torn-down
+// link satisfies errors.Is(err, ErrClosed) or yields the underlying
+// socket error.
+package transport
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// ErrClosed reports an operation on a connection (or listener) that has
+// been closed, locally or by the peer. The TCP implementation surfaces
+// the stdlib's own errors (io.EOF, net.ErrClosed) instead; callers that
+// only need "the link is dead" should treat any Send/Recv error that is
+// not os.ErrDeadlineExceeded as fatal to the connection.
+var ErrClosed = errors.New("transport: connection closed")
+
+// Frame is one protocol frame: a one-byte type tag and an opaque
+// payload. The transport layer never interprets either — framing,
+// ordering, and delivery are its whole contract.
+type Frame struct {
+	Type    byte
+	Payload []byte
+}
+
+// Conn is one ordered, reliable, bidirectional frame link between a
+// coordinator and a worker.
+//
+// Send is safe for concurrent use (heartbeats interleave with protocol
+// frames); Recv must have a single reader at a time. Close releases
+// every blocked Send and Recv on both ends of the link and is
+// idempotent.
+type Conn interface {
+	// Send writes one frame. A positive timeout bounds the whole write:
+	// a peer that stops draining the link surfaces as an error wrapping
+	// os.ErrDeadlineExceeded. A zero or negative timeout means no bound.
+	Send(f Frame, timeout time.Duration) error
+	// Recv returns the next frame. A positive timeout bounds the wait;
+	// a silent peer surfaces as an error wrapping os.ErrDeadlineExceeded.
+	// A zero or negative timeout means no bound. The returned payload is
+	// owned by the caller.
+	Recv(timeout time.Duration) (Frame, error)
+	// Close tears the link down, releasing blocked operations on both
+	// ends. Frames already delivered to the local receive buffer remain
+	// readable on implementations that buffer (Mem); TCP follows socket
+	// semantics.
+	Close() error
+}
+
+// Listener accepts inbound framed connections on the worker side.
+type Listener interface {
+	// Accept blocks for the next inbound connection; it returns an error
+	// after Close.
+	Accept() (Conn, error)
+	// Close stops accepting. It does not close already-accepted conns.
+	Close() error
+	// Addr returns the address peers dial to reach this listener.
+	Addr() string
+}
+
+// Transport dials worker endpoints and opens listeners for them. Addr
+// strings are transport-specific: host:port for TCP, registry names for
+// Mem.
+type Transport interface {
+	// Dial opens a connection to the listener at addr, honoring ctx for
+	// cancellation and deadline.
+	Dial(ctx context.Context, addr string) (Conn, error)
+	// Listen opens a listener at addr (implementations may support a
+	// "pick for me" form, e.g. TCP port 0).
+	Listen(addr string) (Listener, error)
+}

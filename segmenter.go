@@ -192,6 +192,72 @@ func New(kind EngineKind, opts ...Option) (*Segmenter, error) {
 // Kind returns the engine kind the session runs.
 func (s *Segmenter) Kind() EngineKind { return s.kind }
 
+// MemberHealth is one cluster worker's probe outcome, as reported by
+// ClusterHealth.
+type MemberHealth = distengine.MemberHealth
+
+// cluster asserts the session runs the Distributed engine and returns it.
+func (s *Segmenter) cluster() (*distengine.Engine, error) {
+	eng, ok := s.eng.(*distengine.Engine)
+	if !ok {
+		return nil, fmt.Errorf("regiongrow: cluster membership applies only to Distributed, not %v", s.kind)
+	}
+	return eng, nil
+}
+
+// ClusterMembers returns the Distributed session's current worker
+// addresses, in banding order. It errs on every other engine kind.
+func (s *Segmenter) ClusterMembers() ([]string, error) {
+	eng, err := s.cluster()
+	if err != nil {
+		return nil, err
+	}
+	return eng.Members(), nil
+}
+
+// ClusterJoin adds a worker address to the Distributed session's
+// membership, effective at the next job — no restart, no reconstruction.
+// It reports whether the membership changed (false for an address already
+// present) and errs on every other engine kind or an empty address.
+func (s *Segmenter) ClusterJoin(addr string) (bool, error) {
+	eng, err := s.cluster()
+	if err != nil {
+		return false, err
+	}
+	if addr == "" {
+		return false, fmt.Errorf("regiongrow: empty worker address")
+	}
+	return eng.AddMember(addr), nil
+}
+
+// ClusterLeave removes a worker address from the Distributed session's
+// membership, effective at the next job; jobs already running against the
+// worker are unaffected. Removing the last member is refused — a
+// Distributed session never exists without at least one worker — and an
+// address that was never a member reports false without error.
+func (s *Segmenter) ClusterLeave(addr string) (bool, error) {
+	eng, err := s.cluster()
+	if err != nil {
+		return false, err
+	}
+	members := eng.Members()
+	if len(members) == 1 && members[0] == addr {
+		return false, fmt.Errorf("regiongrow: cannot remove the last cluster worker %q", addr)
+	}
+	return eng.RemoveMember(addr), nil
+}
+
+// ClusterHealth probes every cluster member with a dial+ping+pong round
+// trip and reports each outcome in membership order. It errs on every
+// other engine kind.
+func (s *Segmenter) ClusterHealth(ctx context.Context) ([]MemberHealth, error) {
+	eng, err := s.cluster()
+	if err != nil {
+		return nil, err
+	}
+	return eng.Health(ctx), nil
+}
+
 // Engine exposes the underlying engine, mainly for Name.
 func (s *Segmenter) Engine() Engine { return s.eng }
 

@@ -39,6 +39,7 @@ import (
 var scope = map[string]bool{
 	"regiongrow/internal/distengine": true,
 	"regiongrow/internal/server":     true,
+	"regiongrow/internal/transport":  true,
 }
 
 var Analyzer = &analysis.Analyzer{
