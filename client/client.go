@@ -50,13 +50,25 @@ var (
 	// cluster: its /v1/cluster endpoints do not exist until regiongrowd is
 	// started with -cluster.
 	ErrNoCluster = errors.New("client: no cluster on this server")
+	// ErrNoFleet reports a server that is not a fleet gateway: the
+	// /v1/fleet endpoints exist only on regiongrow-gateway, not on a
+	// plain regiongrowd backend.
+	ErrNoFleet = errors.New("client: not a fleet gateway")
 )
 
-// Client talks to one regiongrowd instance. It is safe for concurrent
-// use; construct with New.
+// Client talks to one regiongrowd instance (or one regiongrow-gateway,
+// which serves the same job API). It is safe for concurrent use;
+// construct with New.
 type Client struct {
 	base string
 	hc   *http.Client
+	// timeout bounds each non-streaming HTTP exchange; see
+	// WithRequestTimeout.
+	timeout time.Duration
+	// busyRetries and maxBackoff drive the 429 retry loop; see
+	// WithBusyRetry.
+	busyRetries int
+	maxBackoff  time.Duration
 }
 
 // Option configures a Client at construction time.
@@ -68,6 +80,33 @@ type Option func(*Client)
 // length of a job; bound calls with their contexts instead.
 func WithHTTPClient(hc *http.Client) Option {
 	return func(c *Client) { c.hc = hc }
+}
+
+// WithRequestTimeout bounds every non-streaming exchange — submission,
+// poll, cancel, batch, cluster and fleet calls — to d per attempt,
+// layered under whatever deadline the call's context already carries.
+// Stream (and the SSE leg of Wait) is exempt: it intentionally holds its
+// connection open for the life of the job. A non-positive d leaves
+// exchanges unbounded, the prior behavior.
+func WithRequestTimeout(d time.Duration) Option {
+	return func(c *Client) { c.timeout = d }
+}
+
+// WithBusyRetry retries an exchange answered 429 (ErrBusy — the server's
+// bounded queue or job store is momentarily full) up to retries extra
+// attempts, sleeping an exponentially doubling backoff that starts at
+// 50ms and is capped at maxBackoff (non-positive selects 2s). The
+// caller's context cancels the sleep. Only requests whose body can be
+// replayed are retried; every request this package builds qualifies.
+// The default remains zero retries: ErrBusy surfaces immediately.
+func WithBusyRetry(retries int, maxBackoff time.Duration) Option {
+	return func(c *Client) {
+		c.busyRetries = max(retries, 0)
+		if maxBackoff <= 0 {
+			maxBackoff = 2 * time.Second
+		}
+		c.maxBackoff = maxBackoff
+	}
 }
 
 // New builds a Client for the service at baseURL (scheme and host,
@@ -143,13 +182,80 @@ func (r JobRequest) body() (io.Reader, error) {
 	return &buf, nil
 }
 
-// do issues one request and returns the response after classifying
-// non-2xx statuses into errors (wrapping ErrNotFound and ErrBusy where
-// they apply). The caller owns the body on success.
+// do issues one request — retrying 429 responses per WithBusyRetry and
+// bounding each non-streaming attempt per WithRequestTimeout — and
+// returns the response after classifying non-2xx statuses into errors
+// (wrapping ErrNotFound and ErrBusy where they apply). The caller owns
+// the body on success.
 func (c *Client) do(req *http.Request) (*http.Response, error) {
-	resp, err := c.hc.Do(req)
+	// SSE exchanges are recognizable by the Accept header Stream sets;
+	// they stay open for the life of a job, so the per-request timeout
+	// must not apply to them.
+	streaming := req.Header.Get("Accept") == "text/event-stream"
+	backoff := 50 * time.Millisecond
+	for attempt := 0; ; attempt++ {
+		resp, err := c.attempt(req, streaming)
+		if err == nil {
+			return resp, nil
+		}
+		// Only ErrBusy is transient by contract, and a request whose body
+		// cannot be rebuilt cannot be replayed. (Bodyless requests and the
+		// bytes.Buffer/bytes.Reader bodies this package builds always
+		// carry GetBody.)
+		if !errors.Is(err, ErrBusy) || attempt >= c.busyRetries ||
+			(req.Body != nil && req.GetBody == nil) {
+			return nil, err
+		}
+		d := min(backoff, c.maxBackoff)
+		backoff *= 2
+		select {
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		case <-time.After(d):
+		}
+		if req.GetBody != nil {
+			body, gerr := req.GetBody()
+			if gerr != nil {
+				return nil, err
+			}
+			req.Body = body
+		}
+	}
+}
+
+// cancelBody ties an attempt's timeout cancel to its response body, so
+// the deadline keeps governing the read and the context is released
+// exactly when the caller closes the body.
+type cancelBody struct {
+	io.ReadCloser
+	cancel context.CancelFunc
+}
+
+func (b *cancelBody) Close() error {
+	err := b.ReadCloser.Close()
+	b.cancel()
+	return err
+}
+
+// attempt runs one exchange, applying the per-request timeout to
+// non-streaming requests.
+func (c *Client) attempt(req *http.Request, streaming bool) (*http.Response, error) {
+	hreq := req
+	cancel := context.CancelFunc(nil)
+	if c.timeout > 0 && !streaming {
+		var ctx context.Context
+		ctx, cancel = context.WithTimeout(req.Context(), c.timeout)
+		hreq = req.Clone(ctx)
+	}
+	resp, err := c.hc.Do(hreq)
 	if err != nil {
+		if cancel != nil {
+			cancel()
+		}
 		return nil, err
+	}
+	if cancel != nil {
+		resp.Body = &cancelBody{ReadCloser: resp.Body, cancel: cancel}
 	}
 	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
 		return resp, nil
@@ -474,6 +580,69 @@ func (c *Client) decodeCluster(hreq *http.Request, into any) error {
 	defer resp.Body.Close()
 	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
 		return fmt.Errorf("client: decoding cluster response: %w", err)
+	}
+	return nil
+}
+
+// Fleet fetches a gateway's backend membership: every regiongrowd
+// instance behind it, with health, instance ID, and ring presence. A
+// plain regiongrowd answers 404, surfaced as an error wrapping
+// ErrNoFleet.
+func (c *Client) Fleet(ctx context.Context) (*FleetStatus, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/fleet", nil)
+	if err != nil {
+		return nil, err
+	}
+	var st FleetStatus
+	if err := c.decodeFleet(hreq, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// FleetJoin adds a backend address to a gateway's fleet. The backend is
+// probed immediately; one that is not up yet still joins as unhealthy
+// and is admitted to the routing ring by the health loop once it answers
+// probes — so orchestration can register a backend before starting it.
+func (c *Client) FleetJoin(ctx context.Context, addr string) (*FleetUpdate, error) {
+	return c.fleetMutate(ctx, "join", addr)
+}
+
+// FleetLeave removes a backend address from a gateway's fleet. The keys
+// it owned re-route to the surviving backends (bounded movement, by
+// consistent hashing); job records it holds become unreachable through
+// the gateway. Removing the last backend is refused.
+func (c *Client) FleetLeave(ctx context.Context, addr string) (*FleetUpdate, error) {
+	return c.fleetMutate(ctx, "leave", addr)
+}
+
+func (c *Client) fleetMutate(ctx context.Context, verb, addr string) (*FleetUpdate, error) {
+	v := url.Values{}
+	v.Set("addr", addr)
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/fleet/"+verb+"?"+v.Encode(), nil)
+	if err != nil {
+		return nil, err
+	}
+	var upd FleetUpdate
+	if err := c.decodeFleet(hreq, &upd); err != nil {
+		return nil, err
+	}
+	return &upd, nil
+}
+
+// decodeFleet runs one fleet-endpoint exchange, translating the 404 a
+// non-gateway answers with into ErrNoFleet.
+func (c *Client) decodeFleet(hreq *http.Request, into any) error {
+	resp, err := c.do(hreq)
+	if err != nil {
+		if errors.Is(err, ErrNotFound) {
+			return fmt.Errorf("%w (fleet endpoints are served by regiongrow-gateway)", ErrNoFleet)
+		}
+		return err
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+		return fmt.Errorf("client: decoding fleet response: %w", err)
 	}
 	return nil
 }

@@ -1,0 +1,181 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"regiongrow"
+	"regiongrow/client"
+)
+
+// stubJob answers any request with a minimal valid queued job record.
+func stubJob(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, `{"api_version":%q,"id":"job-stub-0011223344556677","state":"queued",`+
+		`"engine":"sequential","image":{"width":1,"height":1,"sha256":"x"},`+
+		`"config":{"threshold":10,"tie":"random","seed":1,"max_square":0},`+
+		`"progress":{"stage":"queued"},"created_at":"2026-01-01T00:00:00Z"}`, client.APIVersion)
+}
+
+// TestBusyRetrySucceedsAfterBackoff: a server that answers 429 twice then
+// 202 is retried transparently under WithBusyRetry, including replaying
+// the PGM upload body on each attempt.
+func TestBusyRetrySucceedsAfterBackoff(t *testing.T) {
+	var calls, lastBody atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		lastBody.Store(int64(len(body)))
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "job queue full, retry later", http.StatusTooManyRequests)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		stubJob(w)
+	}))
+	defer ts.Close()
+
+	c, err := client.New(ts.URL, client.WithBusyRetry(3, 200*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	im := regiongrow.GeneratePaperImage(regiongrow.Image1NestedRects128)
+	job, err := c.Submit(context.Background(), client.JobRequest{Image: im, Engine: regiongrow.SequentialEngine})
+	if err != nil {
+		t.Fatalf("Submit with retries: %v", err)
+	}
+	if job.State != client.StateQueued {
+		t.Fatalf("state %s", job.State)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d attempts, want 3", got)
+	}
+	// The third attempt must have carried the full upload again: a
+	// non-replayed body would arrive empty.
+	if lastBody.Load() == 0 {
+		t.Fatal("retried attempt arrived with an empty body")
+	}
+}
+
+// TestBusyRetryExhaustsToErrBusy: a persistently busy server surfaces
+// ErrBusy after the configured attempts, not an unbounded loop.
+func TestBusyRetryExhaustsToErrBusy(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "job queue full, retry later", http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+
+	c, err := client.New(ts.URL, client.WithBusyRetry(2, 50*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Get(context.Background(), "job-x-0011223344556677")
+	if !errors.Is(err, client.ErrBusy) {
+		t.Fatalf("err = %v, want ErrBusy", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d attempts, want 3 (1 + 2 retries)", got)
+	}
+}
+
+// TestBusyRetryRespectsContext: cancelling the call's context during the
+// backoff sleep ends the retry loop promptly.
+func TestBusyRetryRespectsContext(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "busy", http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+
+	c, err := client.New(ts.URL, client.WithBusyRetry(100, time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 80*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = c.Get(ctx, "job-x-0011223344556677")
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("retry loop ignored context for %v", elapsed)
+	}
+}
+
+// TestRequestTimeoutBoundsSlowExchange: WithRequestTimeout fails a
+// non-streaming call against a stalled server, without the caller's
+// context carrying a deadline.
+func TestRequestTimeoutBoundsSlowExchange(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+	}))
+	defer ts.Close()
+
+	c, err := client.New(ts.URL, client.WithRequestTimeout(50*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = c.Get(context.Background(), "job-x-0011223344556677")
+	if err == nil {
+		t.Fatal("expected a timeout error")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want a deadline error", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("timeout took %v to fire", elapsed)
+	}
+}
+
+// TestRequestTimeoutExemptsStreaming: an SSE stream that takes longer
+// than the per-request timeout still completes — Stream holds its
+// connection for the life of the job by contract.
+func TestRequestTimeoutExemptsStreaming(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fl := w.(http.Flusher)
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.WriteHeader(http.StatusOK)
+		fl.Flush()
+		time.Sleep(150 * time.Millisecond) // well past the 20ms timeout
+		fmt.Fprint(w, "id: 0\nevent: done\ndata: ")
+		stubJob(noopFlusher{w})
+		fmt.Fprint(w, "\n\n")
+		fl.Flush()
+	}))
+	defer ts.Close()
+
+	c, err := client.New(ts.URL, client.WithRequestTimeout(20*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := c.Stream(context.Background(), "job-stub-0011223344556677", nil)
+	if err != nil {
+		t.Fatalf("Stream under WithRequestTimeout: %v", err)
+	}
+	if job.ID != "job-stub-0011223344556677" {
+		t.Fatalf("job %+v", job)
+	}
+}
+
+// noopFlusher lets stubJob write a record inline into an SSE data field
+// without the JSON encoder's trailing newline breaking the frame.
+type noopFlusher struct{ w http.ResponseWriter }
+
+func (n noopFlusher) Header() http.Header         { return n.w.Header() }
+func (n noopFlusher) WriteHeader(int)             {}
+func (n noopFlusher) Write(b []byte) (int, error) { return n.w.Write(b) }

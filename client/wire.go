@@ -170,6 +170,40 @@ type ClusterUpdate struct {
 	Members []string `json:"members"`
 }
 
+// FleetMember is one regiongrowd backend behind a gateway: its address,
+// the instance ID learned from its /v1/stats (empty until the first
+// successful probe), whether it passed its latest health probe, and
+// whether it currently sits in the routing ring. A member can be out of
+// the ring (ejected after consecutive probe failures, or joined before
+// its process came up) while remaining in the fleet — the health loop
+// readmits it as soon as it answers again.
+type FleetMember struct {
+	Addr     string `json:"addr"`
+	Instance string `json:"instance,omitempty"`
+	Healthy  bool   `json:"healthy"`
+	InRing   bool   `json:"in_ring"`
+	// Error is the last probe failure, kept while the member is
+	// unhealthy.
+	Error string `json:"error,omitempty"`
+}
+
+// FleetStatus answers GET /v1/fleet: the gateway's backend membership in
+// address order.
+type FleetStatus struct {
+	Backends int           `json:"backends"`
+	Healthy  int           `json:"healthy"`
+	Members  []FleetMember `json:"members"`
+}
+
+// FleetUpdate answers the POST /v1/fleet/join and /v1/fleet/leave
+// mutations: whether the membership changed (false for a join of a
+// present address or a leave of an absent one) and the resulting member
+// list, effective immediately for routing.
+type FleetUpdate struct {
+	Changed bool          `json:"changed"`
+	Members []FleetMember `json:"members"`
+}
+
 // BatchManifest is the JSON body of POST /v1/batch: N paper-image/config
 // pairs fanned out as one job each.
 type BatchManifest struct {

@@ -1,0 +1,123 @@
+// Command regiongrow-gateway is the serving fleet's stateless edge
+// tier: it fronts N regiongrowd backends and serves the same /v1 job
+// API, routing each submission to the backend owning its cache key over
+// a consistent-hash ring and proxying job-ID traffic (record lookups,
+// SSE event streams, cancels) to the replica that minted the ID.
+//
+// Usage:
+//
+//	regiongrow-gateway -backends host:port,host:port,...
+//	                   [-addr :8081] [-vnodes 512] [-health 2s]
+//	                   [-probe 2s] [-eject 2] [-maxbody BYTES]
+//	                   [-rate R] [-burst B] [-maxinflight N]
+//	                   [-drain 30s] [-instance ID]
+//
+// Give each backend a distinct, stable -instance when starting
+// regiongrowd; that ID is how job lookups route through any gateway.
+// Backend membership is dynamic after startup: POST /v1/fleet/join and
+// /v1/fleet/leave add and remove replicas at runtime, GET /v1/fleet
+// reports membership with per-backend health, and the health loop
+// (period -health) ejects a backend from the routing ring after -eject
+// consecutive failed probes, readmitting it when it answers again.
+//
+// -rate enables per-client-IP token-bucket rate limiting of submissions
+// (R per second, burst -burst); -maxinflight caps concurrently
+// forwarded submissions fleet-wide. Both reject with 429 + Retry-After
+// at the edge, before any backend queues work. Several gateways can
+// front the same fleet: they share no state, and the deterministic ring
+// hash makes them agree on key ownership as long as they are started
+// with the same backend list and -vnodes.
+//
+// Endpoints: the full regiongrowd /v1 job API (jobs, events, batch,
+// segment), plus GET /v1/stats (gateway counters + live fleet-wide
+// aggregation of every backend's stats), GET /healthz (503 when no
+// backend is reachable), and the /v1/fleet membership API.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"regiongrow/internal/gateway"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("regiongrow-gateway: ")
+	addr := flag.String("addr", ":8081", "listen address")
+	backends := flag.String("backends", "", "comma-separated regiongrowd backend addresses (required)")
+	vnodes := flag.Int("vnodes", gateway.DefaultVNodes, "consistent-hash virtual nodes per backend (all gateways over one fleet must agree)")
+	health := flag.Duration("health", 2*time.Second, "health-probe sweep interval")
+	probe := flag.Duration("probe", 2*time.Second, "per-probe timeout")
+	eject := flag.Int("eject", 2, "consecutive probe failures before a backend leaves the routing ring")
+	maxBody := flag.Int64("maxbody", 16<<20, "maximum PGM upload size in bytes")
+	rate := flag.Float64("rate", 0, "per-client submissions per second (0 = unlimited)")
+	burst := flag.Int("burst", 0, "rate-limit burst depth (0 = 2*rate)")
+	maxInFlight := flag.Int("maxinflight", 0, "fleet-wide cap on in-flight submissions (0 = unlimited)")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
+	instance := flag.String("instance", "", "this gateway's stable instance ID (empty = random)")
+	flag.Parse()
+	if flag.NArg() != 0 || *backends == "" {
+		fmt.Fprintln(os.Stderr, "usage: regiongrow-gateway -backends host:port,... [-addr :8081] [-vnodes N] [-health D] [-probe D] [-eject N] [-maxbody BYTES] [-rate R] [-burst B] [-maxinflight N] [-drain D] [-instance ID]")
+		os.Exit(2)
+	}
+	var list []string
+	for _, a := range strings.Split(*backends, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			list = append(list, a)
+		}
+	}
+
+	gw, err := gateway.New(gateway.Options{
+		Backends:       list,
+		VNodes:         *vnodes,
+		HealthInterval: *health,
+		ProbeTimeout:   *probe,
+		EjectAfter:     *eject,
+		MaxBodyBytes:   *maxBody,
+		RatePerSec:     *rate,
+		Burst:          *burst,
+		MaxInFlight:    *maxInFlight,
+		Instance:       *instance,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           gw,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("listening on %s (instance=%s backends=%d vnodes=%d)", *addr, gw.Instance(), len(list), *vnodes)
+
+	select {
+	case <-ctx.Done():
+		log.Printf("shutdown signal received, draining for up to %v", *drain)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+		gw.Close()
+		log.Print("drained, exiting")
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	}
+}

@@ -8,6 +8,13 @@
 //	regiongrowd [-addr :8080] [-workers N] [-queue D] [-cache E]
 //	            [-maxbody BYTES] [-drain TIMEOUT] [-timeout D] [-warm]
 //	            [-jobcap N] [-jobttl D] [-cluster host:port,...]
+//	            [-instance ID]
+//
+// -instance names this server's stable identity (default: a random ID
+// minted at startup). The instance is reported on /v1/stats and embedded
+// in every job ID, which is how a regiongrow-gateway fleet routes job
+// lookups to the backend owning the record; give each backend behind a
+// gateway a distinct, stable -instance.
 //
 // With -cluster, the daemon also serves engine=dist: each such job is
 // coordinated across the listed regiongrow-worker processes over TCP,
@@ -92,9 +99,10 @@ func main() {
 	jobCap := flag.Int("jobcap", 1024, "job record store capacity (full store of unfinished jobs answers 429)")
 	jobTTL := flag.Duration("jobttl", 15*time.Minute, "how long finished job records stay retrievable")
 	cluster := flag.String("cluster", "", "comma-separated regiongrow-worker addresses; enables the dist engine")
+	instance := flag.String("instance", "", "stable instance ID reported on /v1/stats and embedded in job IDs (empty = random)")
 	flag.Parse()
 	if flag.NArg() != 0 {
-		fmt.Fprintln(os.Stderr, "usage: regiongrowd [-addr :8080] [-workers N] [-queue D] [-cache E] [-maxbody BYTES] [-drain TIMEOUT] [-timeout D] [-warm] [-jobcap N] [-jobttl D] [-cluster host:port,...]")
+		fmt.Fprintln(os.Stderr, "usage: regiongrowd [-addr :8080] [-workers N] [-queue D] [-cache E] [-maxbody BYTES] [-drain TIMEOUT] [-timeout D] [-warm] [-jobcap N] [-jobttl D] [-cluster host:port,...] [-instance ID]")
 		os.Exit(2)
 	}
 	var clusterAddrs []string
@@ -116,6 +124,7 @@ func main() {
 		JobCapacity:    *jobCap,
 		JobTTL:         *jobTTL,
 		ClusterWorkers: clusterAddrs,
+		Instance:       *instance,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -128,8 +137,8 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("listening on %s (workers=%d queue=%d cache=%d)",
-		*addr, svc.Stats().Queue.Workers, *queue, *cache)
+	log.Printf("listening on %s (instance=%s workers=%d queue=%d cache=%d)",
+		*addr, svc.Instance(), svc.Stats().Queue.Workers, *queue, *cache)
 
 	select {
 	case <-ctx.Done():

@@ -1,0 +1,297 @@
+package gateway
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"regiongrow/client"
+	"regiongrow/internal/server"
+)
+
+// backend is one regiongrowd replica behind the gateway. Its immutable
+// half (addr, base URL, SDK handle) is set at registration; the mutable
+// health state is guarded by mu.
+type backend struct {
+	addr string // normalized host:port, the ring member key
+	base string // http://host:port
+	// sdk is the typed regiongrow/client handle used for batch fan-out
+	// submissions, so the gateway speaks the exact wire types the
+	// backends serialize.
+	sdk *client.Client
+
+	mu       sync.Mutex
+	instance string // learned from /v1/stats; "" until first success
+	healthy  bool
+	inRing   bool
+	fails    int    // consecutive probe/forward failures
+	lastErr  string // most recent failure, kept while unhealthy
+}
+
+// member snapshots the backend into its wire representation.
+func (b *backend) member() client.FleetMember {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	m := client.FleetMember{
+		Addr:     b.addr,
+		Instance: b.instance,
+		Healthy:  b.healthy,
+		InRing:   b.inRing,
+	}
+	if !b.healthy {
+		m.Error = b.lastErr
+	}
+	return m
+}
+
+// registry tracks fleet membership and health, and owns the routing
+// ring: a backend appears as a ring member exactly while it is admitted
+// (inRing). The health loop probes every backend each interval; a
+// backend failing ejectAfter consecutive probes is ejected from the
+// ring (existing job records it holds become unreachable until it
+// returns) and readmitted on its first successful probe.
+type registry struct {
+	ring         *Ring
+	hc           *http.Client
+	probeTimeout time.Duration
+	ejectAfter   int
+
+	mu       sync.RWMutex
+	backends map[string]*backend // by normalized addr
+
+	loopWG   sync.WaitGroup
+	loopStop chan struct{}
+}
+
+// normalizeAddr canonicalizes a backend address: "host:port" and
+// "http://host:port" (with or without a trailing slash) name the same
+// member. The normalized form is the ring key, so every gateway in
+// front of the fleet agrees on member identity byte-for-byte.
+func normalizeAddr(addr string) (norm, base string, err error) {
+	a := strings.TrimSpace(addr)
+	a = strings.TrimSuffix(a, "/")
+	if s, ok := strings.CutPrefix(a, "http://"); ok {
+		a = s
+	} else if strings.Contains(a, "://") {
+		return "", "", fmt.Errorf("backend address %q: only http:// backends are supported", addr)
+	}
+	if a == "" || !strings.Contains(a, ":") {
+		return "", "", fmt.Errorf("backend address %q is not host:port", addr)
+	}
+	return a, "http://" + a, nil
+}
+
+func newRegistry(ring *Ring, hc *http.Client, probeTimeout time.Duration, ejectAfter int) *registry {
+	return &registry{
+		ring:         ring,
+		hc:           hc,
+		probeTimeout: probeTimeout,
+		ejectAfter:   ejectAfter,
+		backends:     make(map[string]*backend),
+		loopStop:     make(chan struct{}),
+	}
+}
+
+// add registers a backend without probing it. Reports false when the
+// address is already registered.
+func (g *registry) add(addr string) (*backend, error) {
+	norm, base, err := normalizeAddr(addr)
+	if err != nil {
+		return nil, err
+	}
+	sdk, err := client.New(base)
+	if err != nil {
+		return nil, err
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, dup := g.backends[norm]; dup {
+		return nil, nil
+	}
+	b := &backend{addr: norm, base: base, sdk: sdk}
+	g.backends[norm] = b
+	return b, nil
+}
+
+// remove unregisters a backend and pulls it from the ring. Reports
+// false for an unknown address; refuses to remove the last member.
+func (g *registry) remove(addr string) (changed bool, err error) {
+	norm, _, err := normalizeAddr(addr)
+	if err != nil {
+		return false, err
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, known := g.backends[norm]; !known {
+		return false, nil
+	}
+	if len(g.backends) == 1 {
+		return false, errors.New("refusing to remove the last backend: the fleet would serve nothing")
+	}
+	delete(g.backends, norm)
+	g.ring.Remove(norm)
+	return true, nil
+}
+
+// get returns the backend registered under addr (normalized), or nil.
+func (g *registry) get(addr string) *backend {
+	norm, _, err := normalizeAddr(addr)
+	if err != nil {
+		return nil
+	}
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.backends[norm]
+}
+
+// byInstance finds the backend whose last probe reported the given
+// instance ID — how job IDs route back to the replica holding their
+// record.
+func (g *registry) byInstance(instance string) *backend {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	for _, b := range g.backends {
+		b.mu.Lock()
+		match := b.instance == instance
+		b.mu.Unlock()
+		if match {
+			return b
+		}
+	}
+	return nil
+}
+
+// all snapshots the registered backends.
+func (g *registry) all() []*backend {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	bs := make([]*backend, 0, len(g.backends))
+	for _, b := range g.backends {
+		bs = append(bs, b)
+	}
+	return bs
+}
+
+// members returns the fleet's wire representation in address order.
+func (g *registry) members() []client.FleetMember {
+	bs := g.all()
+	ms := make([]client.FleetMember, 0, len(bs))
+	for _, b := range bs {
+		ms = append(ms, b.member())
+	}
+	sortMembers(ms)
+	return ms
+}
+
+func sortMembers(ms []client.FleetMember) {
+	for i := 1; i < len(ms); i++ {
+		for j := i; j > 0 && ms[j].Addr < ms[j-1].Addr; j-- {
+			ms[j], ms[j-1] = ms[j-1], ms[j]
+		}
+	}
+}
+
+// probe fetches one backend's /v1/stats and applies the outcome to its
+// health state: success records the instance ID, clears the failure
+// streak, and (re)admits the backend to the ring; failure counts toward
+// ejection. The typed server.Stats decode doubles as a compatibility
+// check — a non-regiongrowd listener fails the probe.
+func (g *registry) probe(ctx context.Context, b *backend) {
+	ctx, cancel := context.WithTimeout(ctx, g.probeTimeout)
+	defer cancel()
+	st, err := fetchStats(ctx, g.hc, b.base)
+	if err != nil {
+		g.noteFailure(b, err)
+		return
+	}
+	b.mu.Lock()
+	b.instance = st.Instance
+	b.healthy = true
+	b.fails = 0
+	b.lastErr = ""
+	admit := !b.inRing
+	b.inRing = true
+	b.mu.Unlock()
+	if admit {
+		g.ring.Add(b.addr)
+	}
+}
+
+// noteFailure records one failed probe or forward against a backend,
+// ejecting it from the ring once the streak reaches ejectAfter. Forward
+// failures on the request path feed in here too, so a crashed backend
+// stops receiving keys after at most ejectAfter requests rather than
+// only at the next health tick.
+func (g *registry) noteFailure(b *backend, err error) {
+	b.mu.Lock()
+	b.healthy = false
+	b.fails++
+	b.lastErr = err.Error()
+	eject := b.inRing && b.fails >= g.ejectAfter
+	if eject {
+		b.inRing = false
+	}
+	b.mu.Unlock()
+	if eject {
+		g.ring.Remove(b.addr)
+	}
+}
+
+// probeAll probes every backend concurrently and waits for the sweep.
+func (g *registry) probeAll(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, b := range g.all() {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g.probe(ctx, b)
+		}()
+	}
+	wg.Wait()
+}
+
+// healthLoop sweeps the fleet every interval until stop.
+func (g *registry) healthLoop(interval time.Duration) {
+	defer g.loopWG.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-g.loopStop:
+			return
+		case <-t.C:
+			g.probeAll(context.Background())
+		}
+	}
+}
+
+// fetchStats retrieves and decodes one backend's /v1/stats document.
+func fetchStats(ctx context.Context, hc *http.Client, base string) (*server.Stats, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/stats", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<10))
+		return nil, fmt.Errorf("stats probe: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+	}
+	var st server.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, fmt.Errorf("stats probe: decoding: %w", err)
+	}
+	if st.Instance == "" {
+		return nil, errors.New("stats probe: backend reports no instance ID")
+	}
+	return &st, nil
+}

@@ -1,0 +1,31 @@
+// Package gateway implements the regiongrow serving fleet's stateless
+// edge tier: an http.Handler that fronts N regiongrowd replicas and
+// serves the same /v1 job API, scaled out.
+//
+// Submissions (POST /v1/jobs, /v1/segment) route by the result cache
+// key — the same regiongrow.CacheKey the backends store results under —
+// over a consistent-hash ring of backends, so repeated requests for the
+// same (image, config, engine) always land on the same replica and hit
+// its cache, while distinct keys spread across the fleet. This is sound
+// because every engine is deterministic: a key names one byte sequence
+// regardless of which replica computes it, so sharding the cache by key
+// loses nothing.
+//
+// Job-ID traffic (GET /v1/jobs/{id}, the SSE /events stream, DELETE)
+// routes by the instance ID each backend embeds in the job IDs it
+// mints, proxied raw to the owning replica. Batches fan out item by
+// item, each to its key's owner, through the regiongrow/client SDK —
+// the gateway composes client.JobRequest values, so its requests cannot
+// drift from the wire contract.
+//
+// The gateway holds no job state: any number of gateways can front the
+// same fleet with no coordination beyond identical backend lists (the
+// ring hash is deterministic). Backend membership is dynamic via
+// POST /v1/fleet/join and /v1/fleet/leave; a background health loop
+// probes every backend's /v1/stats, ejects one from the ring after
+// consecutive failures (forward failures on the request path count
+// too), and readmits it on its first successful probe. Per-client
+// token-bucket rate limiting and a fleet-wide in-flight cap reject
+// excess load with 429 + Retry-After at the edge, before any backend
+// queues work.
+package gateway

@@ -1,0 +1,78 @@
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+)
+
+// forward replays the incoming request against one backend: same
+// method, path, and query, with body (nil for bodyless requests)
+// re-sent from the buffered copy. The returned response is the
+// backend's, untouched; the caller relays it with relay. A transport
+// error (connect refused, reset) comes back as err — an HTTP error
+// status does not, because it is a valid answer to relay.
+func (g *Gateway) forward(ctx context.Context, r *http.Request, base string, body []byte) (*http.Response, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, r.Method, base+r.URL.RequestURI(), rd)
+	if err != nil {
+		return nil, err
+	}
+	// The only request headers the backend interprets: upload media type
+	// and the SSE accept marker. Hop-by-hop headers stay hop-by-hop.
+	if v := r.Header.Get("Content-Type"); v != "" {
+		req.Header.Set("Content-Type", v)
+	}
+	if v := r.Header.Get("Accept"); v != "" {
+		req.Header.Set("Accept", v)
+	}
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		req.Header.Set("Last-Event-ID", v)
+	}
+	return g.hc.Do(req)
+}
+
+// relay copies a backend response to the client: status, headers, and a
+// flush-per-read body copy so SSE frames cross the gateway as they are
+// produced rather than when the stream ends. It closes resp.Body.
+func relay(w http.ResponseWriter, resp *http.Response, b *backend) {
+	defer resp.Body.Close()
+	h := w.Header()
+	for k, vs := range resp.Header {
+		h[k] = vs
+	}
+	// Attribution headers: which replica actually served this exchange.
+	// Tests and the CI smoke assert routing stickiness on these.
+	h.Set("X-Regiongrow-Backend", b.addr)
+	b.mu.Lock()
+	if b.instance != "" {
+		h.Set("X-Regiongrow-Backend-Instance", b.instance)
+	}
+	b.mu.Unlock()
+	w.WriteHeader(resp.StatusCode)
+	copyFlush(w, resp.Body)
+}
+
+// copyFlush streams src to w, flushing after every read.
+func copyFlush(w http.ResponseWriter, src io.Reader) {
+	fl, _ := w.(http.Flusher)
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return
+			}
+			if fl != nil {
+				fl.Flush()
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}

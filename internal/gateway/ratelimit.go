@@ -1,0 +1,97 @@
+package gateway
+
+import (
+	"math"
+	"net"
+	"sync"
+	"time"
+)
+
+// rateLimiter is a per-client token-bucket limiter for submission
+// endpoints: each client (keyed by remote IP) accrues rate tokens per
+// second up to burst, and a submission spends one token per job it
+// would enqueue (a batch spends one per item). An empty bucket answers
+// 429 with a Retry-After before any work reaches a backend — admission
+// control at the edge, where rejecting is cheapest.
+type rateLimiter struct {
+	rate  float64 // tokens per second
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+	// sweepAt bounds the map: idle clients' buckets refill to burst and
+	// then carry no information, so they are dropped on a periodic sweep
+	// rather than accumulating forever.
+	sweepAt time.Time
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// newRateLimiter builds a limiter; rate <= 0 disables limiting (allow
+// always answers ok). burst <= 0 defaults to 2*rate (at least 1).
+func newRateLimiter(rate float64, burst int) *rateLimiter {
+	b := float64(burst)
+	if b <= 0 {
+		b = math.Max(1, 2*rate)
+	}
+	return &rateLimiter{
+		rate:    rate,
+		burst:   b,
+		buckets: make(map[string]*bucket),
+		sweepAt: time.Now().Add(time.Minute),
+	}
+}
+
+// allow spends n tokens from client's bucket. When the bucket is short
+// it spends nothing and returns the duration after which n tokens will
+// have accrued — the Retry-After to answer with.
+func (l *rateLimiter) allow(clientKey string, n int) (ok bool, retryAfter time.Duration) {
+	if l.rate <= 0 {
+		return true, 0
+	}
+	need := math.Min(float64(n), l.burst) // a batch larger than burst costs a full bucket
+	now := time.Now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if now.After(l.sweepAt) {
+		l.sweepLocked(now)
+	}
+	b := l.buckets[clientKey]
+	if b == nil {
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[clientKey] = b
+	}
+	b.tokens = math.Min(l.burst, b.tokens+now.Sub(b.last).Seconds()*l.rate)
+	b.last = now
+	if b.tokens >= need {
+		b.tokens -= need
+		return true, 0
+	}
+	wait := (need - b.tokens) / l.rate
+	return false, time.Duration(math.Ceil(wait)) * time.Second
+}
+
+// sweepLocked drops buckets that have been idle long enough to be full
+// again, and schedules the next sweep.
+func (l *rateLimiter) sweepLocked(now time.Time) {
+	idle := time.Duration(l.burst/l.rate*float64(time.Second)) + time.Minute
+	for k, b := range l.buckets {
+		if now.Sub(b.last) > idle {
+			delete(l.buckets, k)
+		}
+	}
+	l.sweepAt = now.Add(time.Minute)
+}
+
+// clientKey extracts the rate-limit key from a request's remote
+// address: the IP without the ephemeral port, so reconnecting does not
+// reset a client's budget.
+func clientKey(remoteAddr string) string {
+	if host, _, err := net.SplitHostPort(remoteAddr); err == nil {
+		return host
+	}
+	return remoteAddr
+}

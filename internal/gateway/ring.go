@@ -1,0 +1,163 @@
+package gateway
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Ring is a consistent-hash ring mapping cache keys to fleet members.
+// Each member contributes vnodes points (its address hashed with a
+// per-replica suffix) on a 64-bit circle; a key is owned by the member
+// whose point is the first at or clockwise of the key's hash. The two
+// properties the serving fleet is built on, both pinned by test:
+//
+//   - balance: with enough virtual nodes, key ownership spreads within
+//     a few percent of uniform, so backend caches and worker pools load
+//     evenly;
+//   - bounded movement: adding or removing a member only reassigns the
+//     keys whose clockwise-first point belonged to (or now belongs to)
+//     that member — about 1/N of the space — so a fleet change does not
+//     flush the other backends' result caches.
+//
+// The hash is SHA-256-derived and shared by every gateway process, so
+// independent stateless gateways in front of the same fleet route every
+// key to the same home backend with no coordination. Ring is safe for
+// concurrent use.
+type Ring struct {
+	vnodes int
+
+	mu      sync.RWMutex
+	members map[string]bool
+	hashes  []uint64          // sorted ring points
+	owners  map[uint64]string // ring point -> member
+}
+
+// DefaultVNodes is the virtual-node count per member used when NewRing
+// is given a non-positive value: high enough that ownership balances
+// within a few percent, low enough that rebuilds stay trivial for any
+// plausible fleet.
+const DefaultVNodes = 512
+
+// NewRing returns an empty ring with the given virtual-node count per
+// member (non-positive selects DefaultVNodes).
+func NewRing(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	return &Ring{
+		vnodes:  vnodes,
+		members: make(map[string]bool),
+		owners:  make(map[uint64]string),
+	}
+}
+
+// point hashes one virtual node or key onto the circle.
+func point(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Add inserts a member, reporting whether the membership changed.
+func (r *Ring) Add(member string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.members[member] {
+		return false
+	}
+	r.members[member] = true
+	r.rebuildLocked()
+	return true
+}
+
+// Remove deletes a member, reporting whether the membership changed.
+func (r *Ring) Remove(member string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.members[member] {
+		return false
+	}
+	delete(r.members, member)
+	r.rebuildLocked()
+	return true
+}
+
+// rebuildLocked regenerates the sorted point table from the member set.
+// A full rebuild on every mutation keeps Remove trivially correct and is
+// cheap at fleet scale (members x vnodes points); determinism comes from
+// sorting members before hashing, so equal-hash ties (cryptographically
+// negligible, but handled) always resolve the same way on every gateway.
+func (r *Ring) rebuildLocked() {
+	members := make([]string, 0, len(r.members))
+	for m := range r.members {
+		members = append(members, m)
+	}
+	sort.Strings(members)
+	r.hashes = r.hashes[:0]
+	clear(r.owners)
+	for _, m := range members {
+		for i := 0; i < r.vnodes; i++ {
+			h := point(m + "#" + strconv.Itoa(i))
+			if _, taken := r.owners[h]; taken {
+				continue // first (lexicographically smallest) member keeps the point
+			}
+			r.owners[h] = m
+			r.hashes = append(r.hashes, h)
+		}
+	}
+	sort.Slice(r.hashes, func(i, j int) bool { return r.hashes[i] < r.hashes[j] })
+}
+
+// Members returns the member set in sorted order.
+func (r *Ring) Members() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	members := make([]string, 0, len(r.members))
+	for m := range r.members {
+		members = append(members, m)
+	}
+	sort.Strings(members)
+	return members
+}
+
+// Len reports the member count.
+func (r *Ring) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.members)
+}
+
+// Owner returns the member owning key, or ok=false on an empty ring.
+func (r *Ring) Owner(key string) (member string, ok bool) {
+	return r.OwnerSkip(key, nil)
+}
+
+// OwnerSkip returns the first member at or clockwise of key's point for
+// which skip (when non-nil) reports false — the routing primitive behind
+// failover: skipping an unreachable home backend lands the key on the
+// next member clockwise, the same member every gateway would pick.
+// ok=false when the ring is empty or every member is skipped.
+func (r *Ring) OwnerSkip(key string, skip func(member string) bool) (member string, ok bool) {
+	h := point(key)
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	n := len(r.hashes)
+	if n == 0 {
+		return "", false
+	}
+	start := sort.Search(n, func(i int) bool { return r.hashes[i] >= h })
+	tried := make(map[string]bool, len(r.members))
+	for i := 0; i < n && len(tried) < len(r.members); i++ {
+		m := r.owners[r.hashes[(start+i)%n]]
+		if tried[m] {
+			continue
+		}
+		if skip == nil || !skip(m) {
+			return m, true
+		}
+		tried[m] = true
+	}
+	return "", false
+}

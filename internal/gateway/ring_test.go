@@ -1,0 +1,186 @@
+package gateway
+
+import (
+	"fmt"
+	"testing"
+)
+
+func syntheticKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		// Shaped like real cache keys; the ring only sees opaque strings.
+		keys[i] = fmt.Sprintf("%064x|t=%d|tie=random|seed=1|sq=16|eng=sequential", i, 10+i%5)
+	}
+	return keys
+}
+
+func fleetMembers(n int) []string {
+	ms := make([]string, n)
+	for i := range ms {
+		ms[i] = fmt.Sprintf("10.0.0.%d:8080", i+1)
+	}
+	return ms
+}
+
+func ownersOf(r *Ring, keys []string) map[string]string {
+	owners := make(map[string]string, len(keys))
+	for _, k := range keys {
+		m, ok := r.Owner(k)
+		if !ok {
+			panic("owner on a populated ring")
+		}
+		owners[k] = m
+	}
+	return owners
+}
+
+// TestRingBalance: 1000 synthetic cache keys over 4 members spread
+// within ±20% of uniform — the property that keeps backend caches and
+// queues evenly loaded.
+func TestRingBalance(t *testing.T) {
+	r := NewRing(0)
+	members := fleetMembers(4)
+	for _, m := range members {
+		r.Add(m)
+	}
+	keys := syntheticKeys(1000)
+	counts := make(map[string]int)
+	for k, m := range ownersOf(r, keys) {
+		_ = k
+		counts[m]++
+	}
+	want := len(keys) / len(members)
+	lo, hi := want*8/10, want*12/10
+	for _, m := range members {
+		if counts[m] < lo || counts[m] > hi {
+			t.Errorf("member %s owns %d of %d keys, want within [%d, %d]", m, counts[m], len(keys), lo, hi)
+		}
+	}
+}
+
+// TestRingMovementOnLeave: removing one of N members moves only that
+// member's keys — about 1/N of them — and every survivor keeps its
+// assignment, so a fleet departure does not flush the other backends'
+// caches.
+func TestRingMovementOnLeave(t *testing.T) {
+	r := NewRing(0)
+	members := fleetMembers(4)
+	for _, m := range members {
+		r.Add(m)
+	}
+	keys := syntheticKeys(1000)
+	before := ownersOf(r, keys)
+	gone := members[2]
+	r.Remove(gone)
+	after := ownersOf(r, keys)
+
+	moved := 0
+	for _, k := range keys {
+		if before[k] != after[k] {
+			moved++
+			if before[k] != gone {
+				t.Fatalf("key %q moved from surviving member %s to %s", k, before[k], after[k])
+			}
+		} else if before[k] == gone {
+			t.Fatalf("key %q still owned by removed member %s", k, gone)
+		}
+	}
+	if limit := len(keys) * 125 / (100 * len(members)); moved > limit {
+		t.Errorf("%d of %d keys moved on leave, want <= %d (~1/N)", moved, len(keys), limit)
+	}
+}
+
+// TestRingMovementOnJoin: a joining member takes about 1/N of the key
+// space, all of it for itself — no key moves between pre-existing
+// members.
+func TestRingMovementOnJoin(t *testing.T) {
+	r := NewRing(0)
+	members := fleetMembers(4)
+	for _, m := range members[:3] {
+		r.Add(m)
+	}
+	keys := syntheticKeys(1000)
+	before := ownersOf(r, keys)
+	joiner := members[3]
+	r.Add(joiner)
+	after := ownersOf(r, keys)
+
+	moved := 0
+	for _, k := range keys {
+		if before[k] != after[k] {
+			moved++
+			if after[k] != joiner {
+				t.Fatalf("key %q moved to %s, not the joiner", k, after[k])
+			}
+		}
+	}
+	if limit := len(keys) * 125 / (100 * len(members)); moved > limit {
+		t.Errorf("%d of %d keys moved on join, want <= %d (~1/N)", moved, len(keys), limit)
+	}
+	if moved == 0 {
+		t.Error("joiner took no keys at all")
+	}
+}
+
+// TestRingDeterminism: insertion order does not affect ownership —
+// independent gateways building their rings from differently-ordered
+// backend lists agree on every key.
+func TestRingDeterminism(t *testing.T) {
+	members := fleetMembers(5)
+	r1 := NewRing(0)
+	for _, m := range members {
+		r1.Add(m)
+	}
+	r2 := NewRing(0)
+	for i := len(members) - 1; i >= 0; i-- {
+		r2.Add(members[i])
+	}
+	for _, k := range syntheticKeys(200) {
+		m1, _ := r1.Owner(k)
+		m2, _ := r2.Owner(k)
+		if m1 != m2 {
+			t.Fatalf("rings disagree on %q: %s vs %s", k, m1, m2)
+		}
+	}
+}
+
+// TestOwnerSkip: skipping the home member yields the clockwise-next
+// one, deterministically; skipping everyone yields ok=false.
+func TestOwnerSkip(t *testing.T) {
+	r := NewRing(0)
+	members := fleetMembers(3)
+	for _, m := range members {
+		r.Add(m)
+	}
+	key := "some-cache-key"
+	home, ok := r.Owner(key)
+	if !ok {
+		t.Fatal("no owner on a populated ring")
+	}
+	next, ok := r.OwnerSkip(key, func(m string) bool { return m == home })
+	if !ok || next == home {
+		t.Fatalf("OwnerSkip(home) = %q, %v", next, ok)
+	}
+	again, _ := r.OwnerSkip(key, func(m string) bool { return m == home })
+	if again != next {
+		t.Fatalf("failover target not deterministic: %s then %s", next, again)
+	}
+	if _, ok := r.OwnerSkip(key, func(string) bool { return true }); ok {
+		t.Fatal("OwnerSkip with everything skipped reported an owner")
+	}
+}
+
+// TestRingEmpty: an empty ring owns nothing; membership mutations
+// report change correctly.
+func TestRingEmpty(t *testing.T) {
+	r := NewRing(0)
+	if _, ok := r.Owner("k"); ok {
+		t.Fatal("empty ring claimed an owner")
+	}
+	if !r.Add("a:1") || r.Add("a:1") {
+		t.Fatal("Add change reporting wrong")
+	}
+	if !r.Remove("a:1") || r.Remove("a:1") {
+		t.Fatal("Remove change reporting wrong")
+	}
+}

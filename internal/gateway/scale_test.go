@@ -1,0 +1,231 @@
+package gateway_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"regiongrow"
+	"regiongrow/client"
+	"regiongrow/internal/gateway"
+	"regiongrow/internal/server"
+)
+
+// sleepSegment stubs compute with a fixed service time: the scale-out
+// tests measure the serving tier (routing, admission, proxying, fan-in
+// of concurrent jobs across replicas), which requires backend capacity
+// to be the bottleneck. Real engines on this host would all contend for
+// the same CPUs and could never show fleet scaling; a sleep models N
+// machines' worth of independent compute honestly.
+func sleepSegment(d time.Duration) server.SegmentFunc {
+	return func(ctx context.Context, im *regiongrow.Image, cfg regiongrow.Config, kind regiongrow.EngineKind, obs regiongrow.Observer) (*regiongrow.Segmentation, error) {
+		select {
+		case <-time.After(d):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		return &regiongrow.Segmentation{W: im.W, H: im.H, Labels: make([]int32, im.W*im.H), FinalRegions: 1}, nil
+	}
+}
+
+// balancedThresholds picks jobs thresholds whose image1 cache keys the
+// ring spreads exactly evenly over the fleet, so the scale measurement
+// is not confounded by the (bounded, ±20%) statistical imbalance a
+// small sample would have.
+func balancedThresholds(t testing.TB, gw *gateway.Gateway, addrs []string, jobs int) []int {
+	t.Helper()
+	im := regiongrow.GeneratePaperImage(regiongrow.Image1NestedRects128)
+	quota := make(map[string]int, len(addrs))
+	for _, a := range addrs {
+		quota[a] = jobs / len(addrs)
+	}
+	var picked []int
+	for th := 1; len(picked) < jobs && th < 10000; th++ {
+		cfg := regiongrow.Config{Threshold: th, Tie: regiongrow.RandomTie, Seed: 1}
+		owner, ok := gw.Ring().Owner(regiongrow.CacheKey(im, cfg, regiongrow.SequentialEngine))
+		if ok && quota[owner] > 0 {
+			quota[owner]--
+			picked = append(picked, th)
+		}
+	}
+	if len(picked) < jobs {
+		t.Fatalf("could not balance %d keys over %d backends", jobs, len(addrs))
+	}
+	return picked
+}
+
+// fleetThroughput measures cache-miss jobs/s through a gateway over
+// nBackends replicas, each with `workers` stub workers of service time
+// svc: every job has a distinct key (and backend caches are disabled),
+// so each one costs a full service slot on its owning replica.
+func fleetThroughput(t testing.TB, nBackends, jobs, workers int, svc time.Duration) float64 {
+	addrs := make([]string, nBackends)
+	for i := range addrs {
+		addrs[i], _ = newBackend(t, fmt.Sprintf("s%d", i+1), server.Options{
+			Workers: workers, QueueDepth: jobs + 8, CacheEntries: -1, Segment: sleepSegment(svc),
+		})
+	}
+	gw, _, c := newGateway(t, gateway.Options{Backends: addrs})
+	thresholds := balancedThresholds(t, gw, addrs, jobs)
+
+	ctx := context.Background()
+	errs := make(chan error, jobs)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for _, th := range thresholds {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			job, err := c.Submit(ctx, client.JobRequest{
+				PaperImage: "image1", Engine: regiongrow.SequentialEngine,
+				Config: regiongrow.Config{Threshold: th, Tie: regiongrow.RandomTie, Seed: 1},
+			})
+			if err == nil {
+				_, err = c.Wait(ctx, job.ID)
+			}
+			if err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	return float64(jobs) / elapsed.Seconds()
+}
+
+// TestFleetScaleOut is the scale acceptance gate: on the cache-miss
+// path, 2 backends must serve >= 1.6x the jobs/s of 1, and 4 backends
+// >= 3x. Service time dominates gateway overhead by construction (100ms
+// stub), so the measured ratios reflect routing fan-out, not host CPU.
+func TestFleetScaleOut(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second fleet load test")
+	}
+	const (
+		jobs    = 24
+		workers = 2
+		svc     = 150 * time.Millisecond
+	)
+	one := fleetThroughput(t, 1, jobs, workers, svc)
+	two := fleetThroughput(t, 2, jobs, workers, svc)
+	four := fleetThroughput(t, 4, jobs, workers, svc)
+	t.Logf("jobs/s: 1 backend %.1f, 2 backends %.1f (%.2fx), 4 backends %.1f (%.2fx)",
+		one, two, two/one, four, four/one)
+	if two < 1.6*one {
+		t.Errorf("2 backends: %.2fx of 1-backend throughput, want >= 1.6x", two/one)
+	}
+	if four < 3.0*one {
+		t.Errorf("4 backends: %.2fx of 1-backend throughput, want >= 3.0x", four/one)
+	}
+}
+
+// BenchmarkFleetThroughput reports cache-miss jobs/s through the
+// gateway at fleet sizes 1, 2, and 4 — the numbers behind the scale-out
+// gate, runnable standalone:
+//
+//	go test -run '^$' -bench FleetThroughput ./internal/gateway
+func BenchmarkFleetThroughput(b *testing.B) {
+	for _, n := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("backends=%d", n), func(b *testing.B) {
+			var total float64
+			for i := 0; i < b.N; i++ {
+				total += fleetThroughput(b, n, 24, 2, 25*time.Millisecond)
+			}
+			b.ReportMetric(total/float64(b.N), "jobs/s")
+		})
+	}
+}
+
+// TestFleetByteIdenticalResults: the determinism contract that makes
+// key-sharding sound, end to end — the same request yields the same
+// bytes whichever backend computes it and whichever gateway carries it.
+func TestFleetByteIdenticalResults(t *testing.T) {
+	const q = "/v1/segment?image=image3&threshold=10&tie=random&seed=1&format=pgm"
+	fetch := func(base string) []byte {
+		t.Helper()
+		resp, err := http.Post(base+q, "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("segment: %s (%v)", resp.Status, err)
+		}
+		return body
+	}
+
+	// Two disjoint single-backend fleets: different replicas compute the
+	// same key from scratch.
+	aA, _ := newBackend(t, "fleetA", server.Options{})
+	_, baseA, _ := newGateway(t, gateway.Options{Backends: []string{aA}})
+	aB, _ := newBackend(t, "fleetB", server.Options{})
+	_, baseB, _ := newGateway(t, gateway.Options{Backends: []string{aB}})
+	pgmA, pgmB := fetch(baseA), fetch(baseB)
+	if !bytes.Equal(pgmA, pgmB) {
+		t.Fatal("disjoint fleets produced different PGM bytes for the same key")
+	}
+
+	// Two gateways over one shared 2-backend fleet: both route the key
+	// to the same replica and relay identical bytes.
+	a1, _ := newBackend(t, "b1", server.Options{})
+	a2, _ := newBackend(t, "b2", server.Options{})
+	_, base1, _ := newGateway(t, gateway.Options{Backends: []string{a1, a2}})
+	_, base2, _ := newGateway(t, gateway.Options{Backends: []string{a2, a1}}) // reversed list
+	pgm1, pgm2 := fetch(base1), fetch(base2)
+	if !bytes.Equal(pgm1, pgm2) {
+		t.Fatal("two gateways over one fleet relayed different bytes")
+	}
+	if !bytes.Equal(pgm1, pgmA) {
+		t.Fatal("shared fleet disagrees with disjoint fleets")
+	}
+
+	// And the label rasters agree through the job API too.
+	cA, err := client.New(baseA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cB, err := client.New(baseB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := client.JobRequest{PaperImage: "image3", Engine: regiongrow.SequentialEngine,
+		Config: regiongrow.Config{Threshold: 10, Tie: regiongrow.RandomTie, Seed: 1}, Labels: true}
+	ctx := context.Background()
+	jA, err := cA.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jB, err := cB.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doneA, err := cA.Wait(ctx, jA.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doneB, err := cB.Wait(ctx, jB.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doneA.Result == nil || doneB.Result == nil {
+		t.Fatal("missing results")
+	}
+	if len(doneA.Result.Labels) == 0 || len(doneA.Result.Labels) != len(doneB.Result.Labels) {
+		t.Fatalf("label raster sizes differ: %d vs %d", len(doneA.Result.Labels), len(doneB.Result.Labels))
+	}
+	for i := range doneA.Result.Labels {
+		if doneA.Result.Labels[i] != doneB.Result.Labels[i] {
+			t.Fatalf("labels diverge at pixel %d", i)
+		}
+	}
+}

@@ -37,56 +37,87 @@ type segmentRequest struct {
 	labels    bool
 }
 
-// parseSegmentParams parses the query parameters shared by every
-// submission endpoint, leaving image resolution to the caller.
-func (s *Server) parseSegmentParams(q url.Values) (*segmentRequest, error) {
-	req := &segmentRequest{
-		cfg:    regiongrow.Config{Threshold: 10, Tie: regiongrow.RandomTie, Seed: 1},
-		kind:   regiongrow.SequentialEngine,
-		format: "json",
+// SegmentParams is the validated form of the query parameters every
+// submission endpoint shares, with the endpoint defaults (engine
+// sequential, threshold 10, random ties, seed 1, the N/8 square cap,
+// JSON out) already applied. The fleet gateway parses with the same
+// function the server does, so routing-time cache keys can never be
+// computed under different defaults than the backend will serve.
+type SegmentParams struct {
+	Kind      regiongrow.EngineKind
+	Config    regiongrow.Config
+	Format    string // "json" or "pgm"
+	Labels    bool
+	ImageName string // paper image by name; empty when the body carries a PGM
+}
+
+// ParseSegmentValues parses the submission query parameters into their
+// validated form. It is a pure function of q: engine availability (the
+// conditional dist kind) is checked by the serving layer, not here.
+func ParseSegmentValues(q url.Values) (SegmentParams, error) {
+	p := SegmentParams{
+		Config: regiongrow.Config{Threshold: 10, Tie: regiongrow.RandomTie, Seed: 1},
+		Kind:   regiongrow.SequentialEngine,
+		Format: "json",
 	}
 	var err error
 	if v := q.Get("engine"); v != "" {
-		if req.kind, err = regiongrow.ParseEngineKind(v); err != nil {
-			return nil, err
-		}
-		if _, ok := s.segmenters[req.kind]; !ok {
-			// Only the Distributed kind is conditional: it exists when the
-			// server was started with cluster workers.
-			return nil, fmt.Errorf("engine %q is not enabled on this server (start regiongrowd with -cluster host:port,... to serve it)", v)
+		if p.Kind, err = regiongrow.ParseEngineKind(v); err != nil {
+			return p, err
 		}
 	}
 	if v := q.Get("tie"); v != "" {
-		if req.cfg.Tie, err = regiongrow.ParseTiePolicy(v); err != nil {
-			return nil, err
+		if p.Config.Tie, err = regiongrow.ParseTiePolicy(v); err != nil {
+			return p, err
 		}
 	}
 	if v := q.Get("threshold"); v != "" {
-		if req.cfg.Threshold, err = strconv.Atoi(v); err != nil || req.cfg.Threshold < 0 {
-			return nil, fmt.Errorf("bad threshold %q (want a non-negative integer)", v)
+		if p.Config.Threshold, err = strconv.Atoi(v); err != nil || p.Config.Threshold < 0 {
+			return p, fmt.Errorf("bad threshold %q (want a non-negative integer)", v)
 		}
 	}
 	if v := q.Get("seed"); v != "" {
-		if req.cfg.Seed, err = strconv.ParseUint(v, 10, 64); err != nil {
-			return nil, fmt.Errorf("bad seed %q (want an unsigned integer)", v)
+		if p.Config.Seed, err = strconv.ParseUint(v, 10, 64); err != nil {
+			return p, fmt.Errorf("bad seed %q (want an unsigned integer)", v)
 		}
 	}
 	if v := q.Get("maxsquare"); v != "" {
-		if req.cfg.MaxSquare, err = strconv.Atoi(v); err != nil || req.cfg.MaxSquare < -1 {
-			return nil, fmt.Errorf("bad maxsquare %q (want -1 for unbounded, 0 for the N/8 default, or a positive cap)", v)
+		if p.Config.MaxSquare, err = strconv.Atoi(v); err != nil || p.Config.MaxSquare < -1 {
+			return p, fmt.Errorf("bad maxsquare %q (want -1 for unbounded, 0 for the N/8 default, or a positive cap)", v)
 		}
 	}
 	switch v := q.Get("format"); v {
 	case "", "json":
-		req.format = "json"
+		p.Format = "json"
 	case "pgm":
-		req.format = "pgm"
+		p.Format = "pgm"
 	default:
-		return nil, fmt.Errorf("bad format %q (want json or pgm)", v)
+		return p, fmt.Errorf("bad format %q (want json or pgm)", v)
 	}
-	req.labels = q.Get("labels") == "1"
-	req.imageName = q.Get("image")
-	return req, nil
+	p.Labels = q.Get("labels") == "1"
+	p.ImageName = q.Get("image")
+	return p, nil
+}
+
+// parseSegmentParams parses the query parameters shared by every
+// submission endpoint, leaving image resolution to the caller.
+func (s *Server) parseSegmentParams(q url.Values) (*segmentRequest, error) {
+	p, err := ParseSegmentValues(q)
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := s.segmenters[p.Kind]; !ok {
+		// Only the Distributed kind is conditional: it exists when the
+		// server was started with cluster workers.
+		return nil, fmt.Errorf("engine %q is not enabled on this server (start regiongrowd with -cluster host:port,... to serve it)", p.Kind)
+	}
+	return &segmentRequest{
+		imageName: p.ImageName,
+		cfg:       p.Config,
+		kind:      p.Kind,
+		format:    p.Format,
+		labels:    p.Labels,
+	}, nil
 }
 
 // parseSegmentRequest parses a full submission: the shared parameters

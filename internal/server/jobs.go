@@ -57,7 +57,7 @@ func (s *Server) jobContext() (context.Context, context.CancelFunc) {
 func (s *Server) startJob(ctx context.Context, cancel context.CancelFunc, req *segmentRequest, internal bool) (*jobEntry, error) {
 	hash := regiongrow.HashImage(req.im)
 	key := regiongrow.CacheKeyForHash(hash, req.im.W, req.im.H, req.cfg, req.kind)
-	e := newJobEntry(req, hash, cancel, newJobTracker(&s.metrics.progress))
+	e := newJobEntry(req, hash, s.opts.Instance, cancel, newJobTracker(&s.metrics.progress))
 	e.internal = internal
 
 	if seg, ok := s.cache.Get(key); ok {
@@ -291,11 +291,13 @@ func (s *Server) batchManifest(r *http.Request) ([]client.BatchResult, error) {
 	return results, nil
 }
 
-// batchItemRequest resolves one manifest item by mapping it onto the
-// /v1/jobs query parameters and running the one shared parser — so the
-// manifest can never default or validate differently from the query
-// surface it mirrors.
-func (s *Server) batchItemRequest(item client.BatchItem) (*segmentRequest, error) {
+// BatchItemQuery maps one batch-manifest item onto the /v1/jobs query
+// parameters it mirrors. Both the server (batchItemRequest) and the fleet
+// gateway (routing each item to its home backend) resolve items through
+// this one mapping plus ParseSegmentValues, so a manifest can never
+// default or validate differently from the query surface — or differently
+// at the edge than at the backend.
+func BatchItemQuery(item client.BatchItem) url.Values {
 	q := url.Values{}
 	if item.Engine != "" {
 		q.Set("engine", item.Engine)
@@ -316,7 +318,13 @@ func (s *Server) batchItemRequest(item client.BatchItem) (*segmentRequest, error
 		q.Set("labels", "1")
 	}
 	q.Set("image", item.Image)
-	req, err := s.parseSegmentParams(q)
+	return q
+}
+
+// batchItemRequest resolves one manifest item through the shared
+// item-to-query mapping and the one shared parser.
+func (s *Server) batchItemRequest(item client.BatchItem) (*segmentRequest, error) {
+	req, err := s.parseSegmentParams(BatchItemQuery(item))
 	if err != nil {
 		return nil, err
 	}

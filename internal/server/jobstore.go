@@ -7,6 +7,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"errors"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -90,18 +91,51 @@ type jobEntry struct {
 	mergeIter, mergesTotal, finalRegs int
 }
 
-// newJobID mints an opaque, unguessable job identifier.
-func newJobID() string {
+// newInstanceID mints a random 8-hex-character server identity, used when
+// Options.Instance is left empty.
+func newInstanceID() string {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(err) // crypto/rand never fails on supported platforms
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// newJobID mints an opaque, unguessable job identifier carrying the
+// owning server's instance ID: "job-<instance>-<random hex>". The
+// embedded instance is what lets a stateless fleet gateway route
+// GET/DELETE /v1/jobs/{id} and the SSE event stream to the one backend
+// holding the record — see ParseJobInstance, the inverse.
+func newJobID(instance string) string {
 	var b [8]byte
 	if _, err := rand.Read(b[:]); err != nil {
 		panic(err) // crypto/rand never fails on supported platforms
 	}
-	return "job-" + hex.EncodeToString(b[:])
+	return "job-" + instance + "-" + hex.EncodeToString(b[:])
 }
 
-func newJobEntry(req *segmentRequest, imageHash string, cancel context.CancelFunc, tracker *jobTracker) *jobEntry {
+// ParseJobInstance extracts the owning server's instance ID from a job ID
+// minted by newJobID. It is the routing key of the fleet gateway's
+// job-record proxying, exported so gateway and server can never disagree
+// on the ID scheme. The instance may itself contain hyphens (operators
+// name backends "backend-1"); the random suffix never does, so the last
+// hyphen is the separator. IDs in another shape (including pre-fleet
+// "job-<hex>" IDs) report ok=false.
+func ParseJobInstance(id string) (instance string, ok bool) {
+	rest, found := strings.CutPrefix(id, "job-")
+	if !found {
+		return "", false
+	}
+	i := strings.LastIndex(rest, "-")
+	if i <= 0 {
+		return "", false
+	}
+	return rest[:i], true
+}
+
+func newJobEntry(req *segmentRequest, imageHash, instance string, cancel context.CancelFunc, tracker *jobTracker) *jobEntry {
 	return &jobEntry{
-		id:        newJobID(),
+		id:        newJobID(instance),
 		created:   time.Now(),
 		cancel:    cancel,
 		tracker:   tracker,

@@ -69,6 +69,11 @@ func (h *histogram) snapshot() HistogramStats {
 // histograms are pre-allocated for every engine kind at construction, so
 // the map is read-only afterwards and needs no lock.
 type metrics struct {
+	instance string
+	// start anchors both stats clocks: its wall reading is served as
+	// started_at, and uptime_seconds is time.Since(start) — which Go
+	// computes from the monotonic reading captured at construction, so
+	// uptime never jumps with wall-clock adjustments.
 	start    time.Time
 	requests atomic.Int64 // POST /v1/segment attempts
 	served   atomic.Int64 // 200 responses
@@ -92,8 +97,8 @@ func allKinds() []regiongrow.EngineKind {
 		regiongrow.SequentialEngine, regiongrow.NativeParallel)
 }
 
-func newMetrics(kinds []regiongrow.EngineKind) *metrics {
-	m := &metrics{start: time.Now(), perEngine: make(map[string]*histogram)}
+func newMetrics(instance string, kinds []regiongrow.EngineKind) *metrics {
+	m := &metrics{instance: instance, start: time.Now(), perEngine: make(map[string]*histogram)}
 	for _, k := range kinds {
 		m.perEngine[k.String()] = &histogram{}
 	}
@@ -108,8 +113,13 @@ func (m *metrics) observe(kind regiongrow.EngineKind, d time.Duration) {
 	}
 }
 
-// Stats is the JSON document served on /v1/stats.
+// Stats is the JSON document served on /v1/stats. Instance and StartedAt
+// make fleet-aggregated snapshots attributable: a gateway polling many
+// backends can tell which counters belong to whom, and a restart is
+// visible as a new StartedAt (and reset uptime) under the same instance.
 type Stats struct {
+	Instance      string                    `json:"instance"`
+	StartedAt     time.Time                 `json:"started_at"`
 	UptimeSeconds float64                   `json:"uptime_seconds"`
 	Requests      RequestStats              `json:"requests"`
 	Jobs          JobStats                  `json:"jobs"`
@@ -152,6 +162,8 @@ type QueueStats struct {
 func (m *metrics) snapshot(pool *Pool, cache *resultCache, jobs *jobStore) Stats {
 	disc, dead := m.canceledDisconnect.Load(), m.canceledDeadline.Load()
 	s := Stats{
+		Instance:      m.instance,
+		StartedAt:     m.start,
 		UptimeSeconds: time.Since(m.start).Seconds(),
 		Requests: RequestStats{
 			Total:              m.requests.Load(),

@@ -50,6 +50,12 @@ type Options struct {
 	// dist requests are rejected with a hint to start the server with
 	// -cluster.
 	ClusterWorkers []string
+	// Instance is this server's stable identity: it prefixes every job ID
+	// (so a fleet gateway can route GET /v1/jobs/{id} to the backend that
+	// owns the record) and is reported on /v1/stats, which is what makes
+	// fleet-aggregated stats attributable per backend. Empty selects a
+	// random 8-hex-character ID minted at construction.
+	Instance string
 	// Segment replaces the pooled per-engine Segmenters; nil selects
 	// them. Tests use it to control job timing.
 	Segment SegmentFunc
@@ -73,6 +79,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.JobTTL <= 0 {
 		o.JobTTL = 15 * time.Minute
+	}
+	if o.Instance == "" {
+		o.Instance = newInstanceID()
 	}
 	return o
 }
@@ -106,7 +115,7 @@ func New(opts Options) *Server {
 	s := &Server{
 		opts:       opts,
 		cache:      newResultCache(opts.CacheEntries),
-		metrics:    newMetrics(kinds),
+		metrics:    newMetrics(opts.Instance, kinds),
 		jobs:       newJobStore(opts.JobCapacity, opts.JobTTL),
 		mux:        http.NewServeMux(),
 		segmenters: make(map[regiongrow.EngineKind]*regiongrow.Segmenter),
@@ -196,6 +205,10 @@ func (s *Server) Close() {
 // Stats returns a point-in-time snapshot of the service counters — the
 // same document /v1/stats serves.
 func (s *Server) Stats() Stats { return s.metrics.snapshot(s.pool, s.cache, s.jobs) }
+
+// Instance returns this server's stable instance ID (Options.Instance, or
+// the random ID minted when none was configured).
+func (s *Server) Instance() string { return s.opts.Instance }
 
 // ServingEngineKinds lists the engines worth putting behind the server:
 // every kind works, but the simulated CM kinds exist to report machine

@@ -4,10 +4,11 @@
 // that silently died (half-open TCP, frozen process) leaks a goroutine —
 // or hangs a whole job — with no way to cancel it from this side.
 //
-// In internal/distengine and internal/server, the analyzer flags a
-// net.Conn read or write that is not preceded — in source order within
-// the same function — by a SetReadDeadline / SetWriteDeadline (or
-// SetDeadline) call on the same conn. "Read" and "write" cover:
+// In internal/distengine, internal/server, internal/transport, and the
+// fleet's internal/gateway, the analyzer flags a net.Conn read or write
+// that is not preceded — in source order within the same function — by
+// a SetReadDeadline / SetWriteDeadline (or SetDeadline) call on the
+// same conn. "Read" and "write" cover:
 //
 //   - direct conn.Read / conn.Write calls;
 //   - io.ReadFull / io.ReadAtLeast / io.Copy / io.CopyN / io.WriteString
@@ -38,6 +39,7 @@ import (
 
 var scope = map[string]bool{
 	"regiongrow/internal/distengine": true,
+	"regiongrow/internal/gateway":    true,
 	"regiongrow/internal/server":     true,
 	"regiongrow/internal/transport":  true,
 }

@@ -6,8 +6,9 @@
 //     distributed-protocol contract);
 //   - ctxloop: engine loops respect context cancellation (the Segmenter
 //     contract: cancel aborts within one split/band/merge iteration);
-//   - connguard: socket reads and writes in the distributed engine and the
-//     server are deadline-bounded (the no-hang guarantee);
+//   - connguard: socket reads and writes in the distributed engine, the
+//     server, and the fleet gateway are deadline-bounded (the no-hang
+//     guarantee);
 //   - exhaustive: switches over the repo's enums (EngineKind, TiePolicy,
 //     core.EventKind, the distengine frame type) cannot silently fall
 //     through when a constant is added.
