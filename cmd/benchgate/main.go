@@ -27,7 +27,7 @@
 // rather than passing vacuously). The CI job pins GOMAXPROCS=1 to match
 // the committed baseline. Refresh it with:
 //
-//	GOMAXPROCS=1 go test -run '^$' -bench 'SegmenterReuse$|NativeVsSequential$|Recolour$' \
+//	GOMAXPROCS=1 go test -run '^$' -bench 'SegmenterReuse$|NativeVsSequential$|Recolour$|SegmentStream$' \
 //	    -benchtime 0.3s -count=5 -benchmem . > bench_baseline.txt
 //	GOMAXPROCS=1 go test -run '^$' -bench 'ServeThroughput$' \
 //	    -benchtime 0.3s -count=5 -benchmem ./internal/server >> bench_baseline.txt

@@ -4,10 +4,21 @@
 // Usage:
 //
 //	imagegen [-dir out] [-noise N] [-seed S] [-extras]
+//	imagegen -stream out.pgm -rows R -cols C [-block B]
 //
 // It writes image1.pgm … image6.pgm into the output directory; with
 // -extras it also writes the uniform, checkerboard, gradient, and random
 // stress images used by the test suite.
+//
+// With -stream, it instead mints one synthetic image of the given
+// geometry incrementally — each pixel is a pure function of its
+// coordinates, rows go straight through the streaming PGM writer, and no
+// full-image buffer is ever allocated — so it can produce the 100MP+
+// inputs that exercise the streaming segmentation path on machines that
+// could never hold them. The pattern is a block checkerboard (block size
+// -block) with a small per-block shade offset: blocks are internally
+// uniform and 4-adjacent blocks always contrast, so the expected final
+// region count is exactly the block count.
 package main
 
 import (
@@ -27,7 +38,22 @@ func main() {
 	noise := flag.Int("noise", 0, "dither amplitude added within objects (0 = clean, as evaluated)")
 	seed := flag.Uint64("seed", 1, "dither stream seed")
 	extras := flag.Bool("extras", false, "also generate stress-test images")
+	streamPath := flag.String("stream", "", "write one synthetic image incrementally to this path (needs -rows and -cols)")
+	rows := flag.Int("rows", 0, "streamed image height in rows")
+	cols := flag.Int("cols", 0, "streamed image width in pixels")
+	block := flag.Int("block", 512, "streamed image checkerboard block size")
 	flag.Parse()
+
+	if *streamPath != "" {
+		if err := streamImage(*streamPath, *rows, *cols, *block); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s  (%dx%d, %d-pixel blocks)\n", *streamPath, *cols, *rows, *block)
+		return
+	}
+	if *rows != 0 || *cols != 0 {
+		log.Fatal("-rows and -cols apply only to -stream mode")
+	}
 
 	if err := os.MkdirAll(*dir, 0o755); err != nil {
 		log.Fatal(err)
@@ -56,4 +82,56 @@ func main() {
 			fmt.Printf("wrote %s\n", path)
 		}
 	}
+}
+
+// blockShade is the streamed pattern: a checkerboard of uniform blocks.
+// Same-class blocks carry a small deterministic shade offset so their
+// intensity intervals differ without ever crossing the contrast gap; the
+// offsets stay below any sane homogeneity threshold, so each block merges
+// internally and never across a block edge.
+func blockShade(bx, by int) uint8 {
+	if (bx+by)%2 == 0 {
+		return uint8(40 + (bx*5+by*3)%8)
+	}
+	return uint8(200 + (bx*3+by*7)%8)
+}
+
+// streamImage writes a rows×cols block-checkerboard PGM through the
+// streaming writer, one row buffer at a time.
+func streamImage(path string, rows, cols, block int) error {
+	if rows <= 0 || cols <= 0 {
+		return fmt.Errorf("-stream needs -rows and -cols > 0 (got %dx%d)", cols, rows)
+	}
+	if block <= 0 {
+		return fmt.Errorf("bad block size %d", block)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	sw, err := pixmap.NewStreamWriter(f, cols, rows)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	row := make([]uint8, cols)
+	for y := 0; y < rows; y++ {
+		by := y / block
+		for x0 := 0; x0 < cols; x0 += block {
+			s := blockShade(x0/block, by)
+			end := min(x0+block, cols)
+			for x := x0; x < end; x++ {
+				row[x] = s
+			}
+		}
+		if err := sw.WriteRows(row); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := sw.Close(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -6,8 +6,8 @@
 //
 //	regiongrow [-engine E] [-threshold T] [-tie P] [-seed S]
 //	           [-maxsquare M] [-timeout D] [-server URL]
-//	           [-cluster host:port,...] [-o out.pgm]
-//	           [-dot out.dot] [-json out.json] input.pgm
+//	           [-cluster host:port,...] [-stream] [-o out.pgm]
+//	           [-labels out.rgls] [-dot out.dot] [-json out.json] input.pgm
 //
 // Engines: sequential (default), cm2-8k, cm2-16k, cm5-cmf, cm5-lp,
 // cm5-async, native, dist. The CM engines additionally report simulated
@@ -17,6 +17,15 @@
 // is named). With -timeout, a run exceeding the duration is cancelled
 // (within one split/merge iteration) and the command exits non-zero
 // naming the stage it reached.
+//
+// With -stream, the image is segmented incrementally in O(band) memory —
+// the full raster never exists in the process — accepting inputs far
+// beyond the in-memory engines' pixel limit while producing output
+// byte-identical to the sequential engine. Stream mode writes the outputs
+// named by -o (recoloured PGM) and -labels (raw label raster); it is
+// local-only and raster-only, so -server, -cluster, -dot, and -json do
+// not combine with it. -labels also works without -stream, encoding the
+// in-memory result in the same wire format for byte-for-byte comparison.
 //
 // With -server, the image is not segmented locally: it is uploaded to a
 // regiongrowd service at the given base URL through the regiongrow/client
@@ -89,15 +98,18 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 	serverURL := flag.String("server", "", "segment via a regiongrowd service at this base URL instead of a local engine")
 	cluster := flag.String("cluster", "", "comma-separated regiongrow-worker addresses for the dist engine (implies -engine dist)")
+	streamMode := flag.Bool("stream", false, "segment incrementally in bounded memory (output byte-identical to sequential; needs -o and/or -labels)")
+	bandRows := flag.Int("bandrows", 0, "stream mode band height in rows (0 = one split cap per band, the minimum-memory setting)")
 	out := flag.String("o", "", "write recoloured segmentation to this PGM path")
+	labelsPath := flag.String("labels", "", "write the raw label raster (RGLS wire format) to this path")
 	dotPath := flag.String("dot", "", "write the final region adjacency graph as Graphviz DOT")
 	jsonPath := flag.String("json", "", "write per-region statistics as JSON")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: regiongrow [-engine E] [-threshold T] [-tie P] [-seed S]")
 		fmt.Fprintln(os.Stderr, "                  [-maxsquare M] [-timeout D] [-server URL]")
-		fmt.Fprintln(os.Stderr, "                  [-cluster host:port,...] [-o out.pgm]")
-		fmt.Fprintln(os.Stderr, "                  [-dot out.dot] [-json out.json] input.pgm")
+		fmt.Fprintln(os.Stderr, "                  [-cluster host:port,...] [-stream] [-o out.pgm]")
+		fmt.Fprintln(os.Stderr, "                  [-labels out.rgls] [-dot out.dot] [-json out.json] input.pgm")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -129,10 +141,6 @@ func main() {
 		log.Fatal(err)
 	}
 
-	im, err := regiongrow.LoadPGM(flag.Arg(0))
-	if err != nil {
-		log.Fatal(err)
-	}
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -141,7 +149,29 @@ func main() {
 	}
 	cfg := regiongrow.Config{Threshold: *threshold, Tie: tie, Seed: *seed, MaxSquare: *maxSquare}
 
+	if *streamMode {
+		if *serverURL != "" || len(clusterAddrs) > 0 || *dotPath != "" || *jsonPath != "" {
+			log.Fatal("-stream is local-only and raster-only: it does not combine with -server, -cluster, -dot, or -json")
+		}
+		if *engineName != "" && *engineName != "sequential" {
+			log.Fatalf("-stream runs the streaming engine (sequential-identical output), not -engine %s", *engineName)
+		}
+		if *out == "" && *labelsPath == "" {
+			log.Fatal("-stream needs at least one of -o out.pgm or -labels out.rgls")
+		}
+		runStream(ctx, flag.Arg(0), cfg, *bandRows, *timeout, *out, *labelsPath)
+		return
+	}
+
+	im, err := regiongrow.LoadPGM(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	if *serverURL != "" {
+		if *labelsPath != "" {
+			log.Fatal("-labels is local-only: job results carry region stats, not the raw label raster")
+		}
 		runServer(ctx, *serverURL, kind, cfg, im, *timeout, *out, *dotPath, *jsonPath)
 		return
 	}
@@ -193,9 +223,77 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", *out)
 	}
+	if *labelsPath != "" {
+		if err := writeFile(*labelsPath, func(f *os.File) error {
+			return regiongrow.EncodeLabels(f, seg)
+		}); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *labelsPath)
+	}
 	if *dotPath != "" || *jsonPath != "" {
 		writeRegionFiles(regiongrow.ComputeRegionStats(seg, im), *dotPath, *jsonPath)
 	}
+}
+
+// runStream is the -stream mode: segment the input incrementally through
+// the streaming engine. Each requested output format is its own pass over
+// the input file — the raster is never resident either way, and a second
+// pass costs far less than holding a gigapixel image would.
+func runStream(ctx context.Context, input string, cfg regiongrow.Config, bandRows int, timeout time.Duration, out, labelsPath string) {
+	type pass struct {
+		path   string
+		output regiongrow.StreamOutput
+	}
+	var passes []pass
+	if out != "" {
+		passes = append(passes, pass{out, regiongrow.StreamRecolour})
+	}
+	if labelsPath != "" {
+		passes = append(passes, pass{labelsPath, regiongrow.StreamLabels})
+	}
+	for i, p := range passes {
+		tracker := &stageTracker{}
+		res, err := streamOnce(ctx, input, p.path, p.output, cfg, bandRows, tracker)
+		if errors.Is(err, context.DeadlineExceeded) {
+			log.Fatalf("timed out after %v during %s — raise -timeout or pick a faster band size", timeout, tracker)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		if i == 0 {
+			fmt.Printf("engine: stream   image: %dx%d   T=%d   tie=%v\n", res.W, res.H, cfg.Threshold, cfg.Tie)
+			fmt.Printf("split: %d iterations, %d square regions, %d bands (%.1f ms wall)\n",
+				res.SplitIterations, res.SquaresAfterSplit, res.Bands, res.SplitWall.Seconds()*1e3)
+			fmt.Printf("merge: %d iterations, %d final regions (%.1f ms wall)\n",
+				res.MergeIterations, res.FinalRegions, res.MergeWall.Seconds()*1e3)
+		}
+		fmt.Printf("wrote %s\n", p.path)
+	}
+}
+
+// streamOnce runs one streaming pass from the input file to one output
+// file, removing a partial output on failure.
+func streamOnce(ctx context.Context, input, outPath string, output regiongrow.StreamOutput, cfg regiongrow.Config, bandRows int, tracker *stageTracker) (*regiongrow.StreamResult, error) {
+	in, err := os.Open(input)
+	if err != nil {
+		return nil, err
+	}
+	defer in.Close()
+	f, err := os.Create(outPath)
+	if err != nil {
+		return nil, err
+	}
+	res, err := regiongrow.SegmentStream(ctx, in, f, cfg,
+		regiongrow.WithStreamOutput(output),
+		regiongrow.WithStreamBandRows(bandRows),
+		regiongrow.WithStreamObserver(tracker))
+	if err != nil {
+		f.Close()
+		os.Remove(outPath)
+		return nil, err
+	}
+	return res, f.Close()
 }
 
 // runServer is the -server mode: submit the image as an asynchronous job,

@@ -86,28 +86,9 @@ const MaxPGMPixels = 1 << 26
 // ReadPGM parses a PGM stream in either P2 (ASCII) or P5 (binary) form.
 func ReadPGM(r io.Reader) (*Image, error) {
 	br := bufio.NewReader(r)
-	magic, err := pgmToken(br)
+	magic, w, h, maxval, err := pgmHeader(br)
 	if err != nil {
-		return nil, fmt.Errorf("pixmap: reading PGM magic: %w", err)
-	}
-	if magic != "P2" && magic != "P5" {
-		return nil, fmt.Errorf("pixmap: unsupported magic %q (want P2 or P5)", magic)
-	}
-	dims := [3]int{}
-	for i := range dims {
-		tok, err := pgmToken(br)
-		if err != nil {
-			return nil, fmt.Errorf("pixmap: reading PGM header: %w", err)
-		}
-		v, err := strconv.Atoi(tok)
-		if err != nil {
-			return nil, fmt.Errorf("pixmap: bad PGM header token %q: %w", tok, err)
-		}
-		dims[i] = v
-	}
-	w, h, maxval := dims[0], dims[1], dims[2]
-	if w < 0 || h < 0 || maxval <= 0 || maxval > 255 {
-		return nil, fmt.Errorf("pixmap: unsupported PGM geometry %dx%d maxval %d", w, h, maxval)
+		return nil, err
 	}
 	if w > 0 && h > MaxPGMPixels/w {
 		return nil, fmt.Errorf("pixmap: PGM declares %dx%d pixels, more than the %d-pixel limit", w, h, MaxPGMPixels)
@@ -119,40 +100,127 @@ func ReadPGM(r io.Reader) (*Image, error) {
 		}
 		return im, nil
 	}
-	for i := range im.Pix {
-		tok, err := pgmToken(br)
-		if err != nil {
-			return nil, fmt.Errorf("pixmap: reading P2 pixel %d: %w", i, err)
-		}
-		v, err := strconv.Atoi(tok)
-		if err != nil || v < 0 || v > maxval {
-			return nil, fmt.Errorf("pixmap: bad P2 pixel %q at index %d", tok, i)
-		}
-		im.Pix[i] = uint8(v)
+	if _, err := readP2Raster(br, im.Pix, maxval, 0, nil); err != nil {
+		return nil, err
 	}
 	return im, nil
+}
+
+// pgmHeader parses the magic, width, height, and maxval of a PGM stream,
+// validating everything except the pixel-count cap (callers differ: ReadPGM
+// enforces MaxPGMPixels, StreamReader the int32 label-space bound).
+func pgmHeader(br *bufio.Reader) (magic string, w, h, maxval int, err error) {
+	var tok []byte
+	tok, err = pgmTokenBuf(br, tok)
+	if err != nil {
+		return "", 0, 0, 0, fmt.Errorf("pixmap: reading PGM magic: %w", err)
+	}
+	magic = string(tok)
+	if magic != "P2" && magic != "P5" {
+		return "", 0, 0, 0, fmt.Errorf("pixmap: unsupported magic %q (want P2 or P5)", magic)
+	}
+	dims := [3]int{}
+	for i := range dims {
+		tok, err = pgmTokenBuf(br, tok[:0])
+		if err != nil {
+			return "", 0, 0, 0, fmt.Errorf("pixmap: reading PGM header: %w", err)
+		}
+		v, err := strconv.Atoi(string(tok))
+		if err != nil {
+			return "", 0, 0, 0, fmt.Errorf("pixmap: bad PGM header token %q: %w", tok, err)
+		}
+		dims[i] = v
+	}
+	w, h, maxval = dims[0], dims[1], dims[2]
+	if w < 0 || h < 0 || maxval <= 0 || maxval > 255 {
+		return "", 0, 0, 0, fmt.Errorf("pixmap: unsupported PGM geometry %dx%d maxval %d", w, h, maxval)
+	}
+	return magic, w, h, maxval, nil
+}
+
+// readP2Raster decodes len(dst) ASCII pixel tokens into dst, reusing (and
+// returning) the caller's token scratch so the per-pixel path is
+// allocation-free — what makes the P2 path scale to band-at-a-time
+// streaming. base offsets error messages so a StreamReader mid-image
+// reports the true pixel index.
+func readP2Raster(br *bufio.Reader, dst []uint8, maxval, base int, tok []byte) ([]byte, error) {
+	if cap(tok) == 0 {
+		tok = make([]byte, 0, 32)
+	}
+	var err error
+	for i := range dst {
+		tok, err = pgmTokenBuf(br, tok[:0])
+		if err != nil {
+			return tok, fmt.Errorf("pixmap: reading P2 pixel %d: %w", base+i, err)
+		}
+		v, ok := pgmAtoi(tok)
+		if !ok || v < 0 || v > maxval {
+			return tok, fmt.Errorf("pixmap: bad P2 pixel %q at index %d", tok, base+i)
+		}
+		dst[i] = uint8(v)
+	}
+	return tok, nil
+}
+
+// pgmAtoi parses a decimal token with strconv.Atoi's acceptance rules
+// (optional single sign, at least one digit, nothing else) without
+// allocating the string Atoi would retain in its error. Overflowing values
+// report failure, which callers treat like any other out-of-range pixel.
+func pgmAtoi(tok []byte) (int, bool) {
+	neg := false
+	if len(tok) > 0 && (tok[0] == '+' || tok[0] == '-') {
+		neg = tok[0] == '-'
+		tok = tok[1:]
+	}
+	if len(tok) == 0 {
+		return 0, false
+	}
+	n := 0
+	for _, b := range tok {
+		if b < '0' || b > '9' {
+			return 0, false
+		}
+		if n > (1<<30)/10 {
+			return 0, false // far beyond any valid maxval already
+		}
+		n = n*10 + int(b-'0')
+	}
+	if neg {
+		n = -n
+	}
+	return n, true
 }
 
 // pgmToken returns the next whitespace-delimited token, skipping
 // '#'-comments, as required by the netpbm grammar.
 func pgmToken(br *bufio.Reader) (string, error) {
-	var tok []byte
+	tok, err := pgmTokenBuf(br, nil)
+	if err != nil {
+		return "", err
+	}
+	return string(tok), nil
+}
+
+// pgmTokenBuf is pgmToken appending into a caller-owned buffer, so a loop
+// over many tokens (a P2 raster has one per pixel) amortises the
+// allocation. Pass tok[:0] to reuse.
+func pgmTokenBuf(br *bufio.Reader, tok []byte) ([]byte, error) {
 	for {
 		b, err := br.ReadByte()
 		if err != nil {
 			if err == io.EOF && len(tok) > 0 {
-				return string(tok), nil
+				return tok, nil
 			}
-			return "", err
+			return nil, err
 		}
 		switch {
 		case b == '#' && len(tok) == 0:
 			if _, err := br.ReadString('\n'); err != nil && err != io.EOF {
-				return "", err
+				return nil, err
 			}
 		case b == ' ' || b == '\t' || b == '\n' || b == '\r':
 			if len(tok) > 0 {
-				return string(tok), nil
+				return tok, nil
 			}
 		default:
 			tok = append(tok, b)

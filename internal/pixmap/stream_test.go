@@ -1,0 +1,287 @@
+package pixmap
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+)
+
+// streamReadAll decodes a whole PGM through the streaming reader in bands
+// of the given row count, returning the assembled image.
+func streamReadAll(t *testing.T, data []byte, bandRows int) (*Image, error) {
+	t.Helper()
+	sr, err := NewStreamReader(bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	im := New(sr.Width(), sr.Height())
+	band := make([]uint8, sr.Width()*bandRows)
+	row := 0
+	for sr.RowsRemaining() > 0 {
+		n := min(bandRows, sr.RowsRemaining())
+		if err := sr.ReadRows(band, n); err != nil {
+			return nil, err
+		}
+		copy(im.Pix[row*sr.Width():], band[:n*sr.Width()])
+		row += n
+	}
+	return im, nil
+}
+
+func TestStreamReaderMatchesReadPGM(t *testing.T) {
+	for _, id := range AllPaperImages() {
+		im := Generate(id, DefaultGenOptions())
+		var p5, p2 bytes.Buffer
+		if err := WritePGM(&p5, im); err != nil {
+			t.Fatal(err)
+		}
+		if err := WritePGMPlain(&p2, im); err != nil {
+			t.Fatal(err)
+		}
+		for _, enc := range []struct {
+			name string
+			data []byte
+		}{{"p5", p5.Bytes()}, {"p2", p2.Bytes()}} {
+			for _, bandRows := range []int{1, 7, im.H, im.H + 5} {
+				got, err := streamReadAll(t, enc.data, bandRows)
+				if err != nil {
+					t.Fatalf("%v/%s bands=%d: %v", id, enc.name, bandRows, err)
+				}
+				if !got.Equal(im) {
+					t.Fatalf("%v/%s bands=%d: streamed pixels differ from ReadPGM", id, enc.name, bandRows)
+				}
+			}
+		}
+	}
+}
+
+func TestStreamReaderErrors(t *testing.T) {
+	data := []byte("P5\n4 4\n255\n0123456789abcdef")
+	sr, err := NewStreamReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sr.ReadRows(make([]uint8, 4), 2); err == nil {
+		t.Fatal("ReadRows accepted a buffer smaller than the band")
+	}
+	if err := sr.ReadRows(make([]uint8, 64), 5); err == nil {
+		t.Fatal("ReadRows accepted more rows than the image holds")
+	}
+	if err := sr.ReadRows(make([]uint8, 64), 4); err != nil {
+		t.Fatal(err)
+	}
+	if sr.RowsRemaining() != 0 {
+		t.Fatalf("RowsRemaining = %d after reading everything", sr.RowsRemaining())
+	}
+
+	// Truncated P5 raster surfaces on the band that needs the missing bytes.
+	sr, err = NewStreamReader(strings.NewReader("P5\n4 4\n255\n0123"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sr.ReadRows(make([]uint8, 4), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := sr.ReadRows(make([]uint8, 12), 3); err == nil {
+		t.Fatal("ReadRows parsed rows past the end of a truncated stream")
+	}
+}
+
+func TestStreamReaderPixelLimits(t *testing.T) {
+	// Beyond the streaming (int32 label space) limit: rejected up front.
+	if _, err := NewStreamReader(strings.NewReader("P5\n65536 65536\n255\n")); err == nil {
+		t.Fatal("accepted a header beyond MaxStreamPixels")
+	}
+	// Beyond ReadPGM's materialisation limit but streamable: accepted. The
+	// header declares 100MP; no rows are read, so nothing is allocated.
+	sr, err := NewStreamReader(strings.NewReader("P5\n10000 10000\n255\n"))
+	if err != nil {
+		t.Fatalf("rejected a streamable 100MP header: %v", err)
+	}
+	if sr.Width() != 10000 || sr.Height() != 10000 {
+		t.Fatalf("parsed %dx%d", sr.Width(), sr.Height())
+	}
+	if _, err := ReadPGM(strings.NewReader("P5\n10000 10000\n255\n")); err == nil {
+		t.Fatal("ReadPGM accepted 100MP — the streaming limit test is vacuous")
+	}
+}
+
+// TestStreamReaderBandAllocs pins the O(band) promise at the allocation
+// level: once the band buffer exists, reading rows allocates nothing (P5)
+// or only the one-off token scratch (P2).
+func TestStreamReaderBandAllocs(t *testing.T) {
+	im := Generate(Image3Circles128, DefaultGenOptions())
+	for _, enc := range []struct {
+		name  string
+		write func(io.Writer, *Image) error
+		max   float64
+	}{
+		{"p5", WritePGM, 0},
+		{"p2", WritePGMPlain, 1}, // token scratch, allocated once then reused
+	} {
+		var buf bytes.Buffer
+		if err := enc.write(&buf, im); err != nil {
+			t.Fatal(err)
+		}
+		data := buf.Bytes()
+		band := make([]uint8, im.W*8)
+		avg := testing.AllocsPerRun(5, func() {
+			sr, err := NewStreamReader(bytes.NewReader(data))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for sr.RowsRemaining() > 0 {
+				if err := sr.ReadRows(band, min(8, sr.RowsRemaining())); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+		// Budget: reader construction (bufio buffer + structs) plus the P2
+		// token scratch. The image streams in 16 bands, so per-band
+		// allocation would blow well past this.
+		limit := 8.0 + enc.max
+		if avg > limit {
+			t.Errorf("%s: %.1f allocs per full streamed read, want <= %.1f", enc.name, avg, limit)
+		}
+	}
+}
+
+func TestStreamWriterMatchesWritePGM(t *testing.T) {
+	im := Generate(Image1NestedRects128, DefaultGenOptions())
+	var want bytes.Buffer
+	if err := WritePGM(&want, im); err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	sw, err := NewStreamWriter(&got, im.W, im.H)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for y := 0; y < im.H; y += 13 {
+		n := min(13, im.H-y)
+		if err := sw.WriteRows(im.Pix[y*im.W : (y+n)*im.W]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatal("streamed PGM differs from WritePGM")
+	}
+}
+
+func TestStreamWriterGuards(t *testing.T) {
+	var buf bytes.Buffer
+	sw, err := NewStreamWriter(&buf, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.WriteRows(make([]uint8, 6)); err == nil {
+		t.Fatal("accepted a partial row")
+	}
+	if err := sw.WriteRows(make([]uint8, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Close(); err == nil {
+		t.Fatal("Close succeeded with rows missing")
+	}
+	if err := sw.WriteRows(make([]uint8, 12)); err == nil {
+		t.Fatal("accepted rows past the declared height")
+	}
+	if err := sw.WriteRows(make([]uint8, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BenchmarkReadPGM pins the raster decode paths — in particular the P2
+// win from the reused token scratch and allocation-free integer parse
+// (the old path allocated a token and a string per pixel).
+func BenchmarkReadPGM(b *testing.B) {
+	im := Generate(Image6Tool256, DefaultGenOptions())
+	var p5, p2 bytes.Buffer
+	if err := WritePGM(&p5, im); err != nil {
+		b.Fatal(err)
+	}
+	if err := WritePGMPlain(&p2, im); err != nil {
+		b.Fatal(err)
+	}
+	for _, enc := range []struct {
+		name string
+		data []byte
+	}{{"p5", p5.Bytes()}, {"p2", p2.Bytes()}} {
+		b.Run(enc.name, func(b *testing.B) {
+			b.SetBytes(int64(im.W * im.H))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := ReadPGM(bytes.NewReader(enc.data)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// FuzzStreamPGM cross-checks the streaming reader against ReadPGM: every
+// input the in-memory parser accepts must stream to identical pixels (in
+// adversarially ragged bands), and every input it rejects must fail the
+// streaming path too — header errors up front, raster errors by the end
+// of the rows at the latest.
+func FuzzStreamPGM(f *testing.F) {
+	for _, id := range AllPaperImages() {
+		im := Generate(id, DefaultGenOptions())
+		var p5 bytes.Buffer
+		if err := WritePGM(&p5, im); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(p5.Bytes(), uint8(3))
+		var p2 bytes.Buffer
+		if err := WritePGMPlain(&p2, im); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(p2.Bytes(), uint8(7))
+	}
+	f.Add([]byte("P5\n# comment\n2 2\n255\nabcd"), uint8(1))
+	f.Add([]byte("P2\n2 3 255\n0 1 2 3 4 5\n"), uint8(2))
+	f.Add([]byte("P2\n2 2 255\n0 +1 -2 3\n"), uint8(1))
+	f.Add([]byte("P5\n0 0\n255\n"), uint8(1))
+	f.Add([]byte("P5\n-1 4\n255\n"), uint8(1))
+	f.Add([]byte("P5\n999999999 999999999\n255\n"), uint8(1))
+	f.Add([]byte("P2\n3 1\n255\n1 99999999999999999999 3"), uint8(1))
+	f.Add([]byte("P6\n2 2\n255\nabcd"), uint8(1))
+
+	f.Fuzz(func(t *testing.T, data []byte, bandSeed uint8) {
+		if w, h, ok := declaredDims(data); ok && w > 0 && h > 0 && w*h > 1<<20 {
+			t.Skip("oversized declared geometry")
+		}
+		want, refErr := ReadPGM(bytes.NewReader(data))
+		got, err := streamReadAllFuzz(t, data, 1+int(bandSeed)%9)
+		if refErr != nil {
+			if err == nil {
+				t.Fatalf("ReadPGM rejected (%v) but the streaming reader accepted", refErr)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("ReadPGM accepted but the streaming reader failed: %v", err)
+		}
+		if !got.Equal(want) {
+			t.Fatal("streamed pixels differ from ReadPGM")
+		}
+	})
+}
+
+// streamReadAllFuzz is streamReadAll without the test-only band clamp —
+// it never reads more rows than remain, matching driver behaviour.
+func streamReadAllFuzz(t *testing.T, data []byte, bandRows int) (*Image, error) {
+	t.Helper()
+	if bandRows < 1 {
+		return nil, fmt.Errorf("bad band rows %d", bandRows)
+	}
+	return streamReadAll(t, data, bandRows)
+}

@@ -116,8 +116,15 @@ func (s *Server) rejectSubmission(w http.ResponseWriter, err error) {
 
 // handleJobSubmit answers POST /v1/jobs: parse the same body and
 // parameters as /v1/segment, enqueue the compute, and answer 202 with the
-// queued (or, on a cache hit, already-done) record.
+// queued (or, on a cache hit, already-done) record. With ?stream=1 the
+// request takes the streaming path instead — synchronous, uncached, and
+// unbounded by MaxBodyBytes (see handleJobStream) — so the dispatch runs
+// before the body limit is installed.
 func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("stream") == "1" {
+		s.handleJobStream(w, r)
+		return
+	}
 	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
 	req, err := s.parseSegmentRequest(r)
 	if err != nil {

@@ -1,0 +1,23 @@
+// Package stream segments images of effectively unbounded size in O(band)
+// memory: the sixth engine path, pointing the distributed engine's banded
+// decomposition at disk instead of sockets.
+//
+// The image streams in as horizontal bands whose boundaries are multiples
+// of the effective split cap. Cap alignment means no split square crosses
+// a band boundary, so splitting each band independently reproduces
+// exactly the global split (the same argument distengine's workers rely
+// on). Each band's squares join one global region adjacency graph —
+// intra-band edges from the band's labels, inter-band edges stitched
+// against the retained previous-band boundary row — and the band's square
+// list spills to a temp-file spool before its pixels are retired. Only
+// the live frontier strip, the RAG (one vertex per square, not per
+// pixel), and the spool survive a band.
+//
+// The merge stage then runs the exact sequential kernel — rag.DriveCtx
+// driving Graph.MergeIteration rounds over the fully assembled graph — so
+// iteration numbering, stall-forced resolutions, and Random-tie draws are
+// identical to the in-memory engines, making the emitted labels
+// byte-identical to theirs. A second pass replays the spool band by band,
+// resolves each square's final region, and emits the output through the
+// streaming writer.
+package stream

@@ -1,0 +1,245 @@
+package stream
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"regiongrow/internal/core"
+	"regiongrow/internal/pixmap"
+	"regiongrow/internal/quadsplit"
+	"regiongrow/internal/rag"
+)
+
+// sequentialLabels runs the in-memory reference engine.
+func sequentialSeg(t *testing.T, im *pixmap.Image, cfg core.Config) *core.Segmentation {
+	t.Helper()
+	seg, err := core.Sequential{}.Segment(im, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return seg
+}
+
+// recolourBytes renders the reference recoloured PGM: every region painted
+// the midpoint of its interval, exactly the facade's Recolour.
+func recolourBytes(t *testing.T, seg *core.Segmentation, im *pixmap.Image) []byte {
+	t.Helper()
+	shade := make(map[int32]uint8, len(seg.Regions))
+	for _, r := range seg.Regions {
+		shade[r.ID] = uint8((int(r.IV.Lo) + int(r.IV.Hi)) / 2)
+	}
+	out := pixmap.New(im.W, im.H)
+	for i, lab := range seg.Labels {
+		out.Pix[i] = shade[lab]
+	}
+	var buf bytes.Buffer
+	if err := pixmap.WritePGM(&buf, out); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func labelBytes(t *testing.T, seg *core.Segmentation) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := EncodeLabels(&buf, seg.W, seg.H, seg.Labels); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestStreamMatchesSequential is the byte-identity property test: across
+// all six paper images, every tie policy, and band geometries covering one
+// band, many bands, and a ragged last band, the streamed label output and
+// recoloured output are byte-identical to the sequential engine's.
+func TestStreamMatchesSequential(t *testing.T) {
+	for _, id := range pixmap.AllPaperImages() {
+		im := pixmap.Generate(id, pixmap.DefaultGenOptions())
+		var pgm bytes.Buffer
+		if err := pixmap.WritePGM(&pgm, im); err != nil {
+			t.Fatal(err)
+		}
+		cap := quadsplit.EffectiveCap(quadsplit.Options{}, im.W, im.H)
+		bandGeometries := map[string]int{
+			"one-band":    im.H,    // whole image in a single band
+			"many-bands":  0,       // one cap per band
+			"ragged-last": 3 * cap, // H is not a multiple of 3 caps
+		}
+		if im.H%(3*cap) == 0 {
+			t.Fatalf("%v: 3-cap bands divide H=%d evenly; pick a raggeder geometry", id, im.H)
+		}
+		for _, tie := range []rag.TiePolicy{rag.SmallestID, rag.LargestID, rag.Random} {
+			cfg := core.Config{Threshold: 10, Tie: tie, Seed: 7}
+			seg := sequentialSeg(t, im, cfg)
+			wantLabels := labelBytes(t, seg)
+			wantPGM := recolourBytes(t, seg, im)
+			for name, bandRows := range bandGeometries {
+				t.Run(fmt.Sprintf("%v/%v/%s", id, tie, name), func(t *testing.T) {
+					var gotLabels bytes.Buffer
+					res, err := Segment(context.Background(), bytes.NewReader(pgm.Bytes()), &gotLabels,
+						cfg, core.Run{}, Options{BandRows: bandRows, Output: OutputLabels})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !bytes.Equal(gotLabels.Bytes(), wantLabels) {
+						t.Error("streamed labels differ from the sequential engine")
+					}
+					if res.FinalRegions != seg.FinalRegions {
+						t.Errorf("FinalRegions = %d, sequential %d", res.FinalRegions, seg.FinalRegions)
+					}
+					if res.SquaresAfterSplit != seg.SquaresAfterSplit {
+						t.Errorf("SquaresAfterSplit = %d, sequential %d", res.SquaresAfterSplit, seg.SquaresAfterSplit)
+					}
+					if res.MergeIterations != seg.MergeIterations {
+						t.Errorf("MergeIterations = %d, sequential %d", res.MergeIterations, seg.MergeIterations)
+					}
+					wantBands := (im.H + max(bandRows/cap, 1)*cap - 1) / (max(bandRows/cap, 1) * cap)
+					if res.Bands != wantBands {
+						t.Errorf("Bands = %d, want %d", res.Bands, wantBands)
+					}
+					var gotPGM bytes.Buffer
+					if _, err := Segment(context.Background(), bytes.NewReader(pgm.Bytes()), &gotPGM,
+						cfg, core.Run{}, Options{BandRows: bandRows, Output: OutputRecolour}); err != nil {
+						t.Fatal(err)
+					}
+					if !bytes.Equal(gotPGM.Bytes(), wantPGM) {
+						t.Error("streamed recoloured PGM differs from the sequential engine")
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestStreamP2Input runs the streaming path on an ASCII PGM: the encoding
+// must not affect the segmentation.
+func TestStreamP2Input(t *testing.T) {
+	im := pixmap.Generate(pixmap.Image3Circles128, pixmap.DefaultGenOptions())
+	var p2 bytes.Buffer
+	if err := pixmap.WritePGMPlain(&p2, im); err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Config{Threshold: 10, Tie: rag.Random, Seed: 1}
+	want := labelBytes(t, sequentialSeg(t, im, cfg))
+	var got bytes.Buffer
+	if _, err := Segment(context.Background(), &p2, &got, cfg, core.Run{}, Options{Output: OutputLabels}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Fatal("P2-streamed labels differ from the sequential engine")
+	}
+}
+
+// TestStreamLargeSynthetic segments a multi-band non-paper image with an
+// explicit small cap, crossing many band boundaries.
+func TestStreamLargeSynthetic(t *testing.T) {
+	im := pixmap.Checkerboard(256, 40, 200)
+	cfg := core.Config{Threshold: 10, Tie: rag.Random, Seed: 3, MaxSquare: 8}
+	var pgm bytes.Buffer
+	if err := pixmap.WritePGM(&pgm, im); err != nil {
+		t.Fatal(err)
+	}
+	want := labelBytes(t, sequentialSeg(t, im, cfg))
+	var got bytes.Buffer
+	res, err := Segment(context.Background(), &pgm, &got, cfg, core.Run{}, Options{Output: OutputLabels})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bands != 32 {
+		t.Fatalf("Bands = %d, want 32 (256 rows / 8-row cap)", res.Bands)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Fatal("streamed labels differ from the sequential engine")
+	}
+}
+
+// TestStreamObserverEvents pins the standard observer contract: the stage
+// events arrive in engine order with the engine's totals.
+func TestStreamObserverEvents(t *testing.T) {
+	im := pixmap.Generate(pixmap.Image1NestedRects128, pixmap.DefaultGenOptions())
+	var pgm bytes.Buffer
+	if err := pixmap.WritePGM(&pgm, im); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var kinds []core.EventKind
+	obs := core.ObserverFunc(func(ev core.StageEvent) {
+		mu.Lock()
+		kinds = append(kinds, ev.Kind)
+		mu.Unlock()
+	})
+	cfg := core.Config{Threshold: 10, Tie: rag.Random, Seed: 1}
+	res, err := Segment(context.Background(), &pgm, &bytes.Buffer{}, cfg, core.Run{Observer: obs}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []core.EventKind{core.EventSplitStart, core.EventSplitDone, core.EventGraphDone}
+	for i := 0; i < res.MergeIterations; i++ {
+		want = append(want, core.EventMergeIteration)
+	}
+	want = append(want, core.EventMergeDone)
+	if len(kinds) != len(want) {
+		t.Fatalf("got %d events, want %d (%v)", len(kinds), len(want), kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("event %d = %v, want %v", i, kinds[i], want[i])
+		}
+	}
+}
+
+// TestStreamCancellation aborts a run up front: the driver must notice at
+// its first band and return the context error without writing output.
+func TestStreamCancellation(t *testing.T) {
+	im := pixmap.Generate(pixmap.Image4NestedRects256, pixmap.DefaultGenOptions())
+	var pgm bytes.Buffer
+	if err := pixmap.WritePGM(&pgm, im); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out bytes.Buffer
+	_, err := Segment(ctx, &pgm, &out, core.Config{Threshold: 10}, core.Run{}, Options{})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if out.Len() != 0 {
+		t.Fatalf("cancelled run wrote %d output bytes", out.Len())
+	}
+}
+
+// TestStreamEmptyImage pins the degenerate geometry: header out, no rows.
+func TestStreamEmptyImage(t *testing.T) {
+	var out bytes.Buffer
+	res, err := Segment(context.Background(), bytes.NewReader([]byte("P5\n0 0\n255\n")), &out,
+		core.Config{Threshold: 10}, core.Run{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalRegions != 0 || res.Bands != 0 {
+		t.Fatalf("empty image produced %+v", res)
+	}
+	if got := out.String(); got != "P5\n0 0\n255\n" {
+		t.Fatalf("empty output %q", got)
+	}
+}
+
+// TestStreamTruncatedInput: a stream shorter than its header declares must
+// fail, not fabricate pixels.
+func TestStreamTruncatedInput(t *testing.T) {
+	_, err := Segment(context.Background(), bytes.NewReader([]byte("P5\n64 64\n255\nshort")), &bytes.Buffer{},
+		core.Config{Threshold: 10}, core.Run{}, Options{})
+	if err == nil {
+		t.Fatal("segmented a truncated stream")
+	}
+}
+
+// TestEncodeLabelsGuards pins the helper's geometry check.
+func TestEncodeLabelsGuards(t *testing.T) {
+	if err := EncodeLabels(&bytes.Buffer{}, 2, 2, make([]int32, 3)); err == nil {
+		t.Fatal("encoded a mis-sized label raster")
+	}
+}

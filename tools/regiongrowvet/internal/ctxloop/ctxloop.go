@@ -47,6 +47,7 @@ var scope = map[string]bool{
 	"regiongrow/internal/mpengine":   true,
 	"regiongrow/internal/shmengine":  true,
 	"regiongrow/internal/distengine": true,
+	"regiongrow/internal/stream":     true,
 }
 
 // modulePrefix identifies same-module callees: a loop that only calls
