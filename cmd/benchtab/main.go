@@ -6,7 +6,7 @@
 // Usage:
 //
 //	benchtab [-threshold T] [-seed S] [-tie P] [-native] [-timeout D]
-//	         [-server URL]
+//	         [-server URL] [-cpuprofile F] [-memprofile F]
 //
 // With -native, each table carries a sixth row for the native
 // shared-memory engine (host wall times; it simulates no machine). With
@@ -46,6 +46,8 @@ func main() {
 	native := flag.Bool("native", false, "append a native shared-memory engine row to each table")
 	timeout := flag.Duration("timeout", 0, "abort the whole evaluation after this duration (0 = no limit)")
 	serverURL := flag.String("server", "", "produce every row via a regiongrowd service at this base URL instead of local engines")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile covering the whole evaluation to this file")
+	memprofile := flag.String("memprofile", "", "write a post-GC heap profile to this file after the evaluation")
 	flag.Parse()
 
 	tie, err := regiongrow.ParseTiePolicy(*tieName)
@@ -74,18 +76,27 @@ func main() {
 		}
 	}
 	var exps []regiongrow.Experiment
-	for i, id := range regiongrow.AllPaperImages() {
-		exp, err := run(ctx, id, cfg)
-		if errors.Is(err, context.DeadlineExceeded) {
-			log.Fatalf("timed out after %v with %d of 6 tables done — raise -timeout", *timeout, i)
+	// The profile brackets exactly the engine runs (all six tables), so a
+	// capture from a CI run or a local repro ranks split, RAG build, and
+	// merge without flag-parsing or table-rendering noise.
+	err = regiongrow.RunProfiled(*cpuprofile, *memprofile, func() error {
+		for i, id := range regiongrow.AllPaperImages() {
+			exp, err := run(ctx, id, cfg)
+			if errors.Is(err, context.DeadlineExceeded) {
+				return fmt.Errorf("timed out after %v with %d of 6 tables done — raise -timeout", *timeout, i)
+			}
+			if err != nil {
+				return err
+			}
+			exps = append(exps, exp)
+			fmt.Printf("=== Table %d ===\n", i+1)
+			regiongrow.WriteTable(os.Stdout, exp)
+			fmt.Println()
 		}
-		if err != nil {
-			log.Fatal(err)
-		}
-		exps = append(exps, exp)
-		fmt.Printf("=== Table %d ===\n", i+1)
-		regiongrow.WriteTable(os.Stdout, exp)
-		fmt.Println()
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	regiongrow.WriteFigure3(os.Stdout, exps)

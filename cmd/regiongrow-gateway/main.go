@@ -10,7 +10,12 @@
 //	                   [-addr :8081] [-vnodes 512] [-health 2s]
 //	                   [-probe 2s] [-eject 2] [-maxbody BYTES]
 //	                   [-rate R] [-burst B] [-maxinflight N]
-//	                   [-drain 30s] [-instance ID]
+//	                   [-drain 30s] [-instance ID] [-pprof]
+//
+// With -pprof, the gateway additionally serves Go's profiling endpoints
+// under /debug/pprof/ so edge-tier hot spots (routing, proxying, SSE
+// fan-out) can be ranked on a live process. Off by default; enable only
+// where operators can reach the port.
 //
 // Give each backend a distinct, stable -instance when starting
 // regiongrowd; that ID is how job lookups route through any gateway.
@@ -41,6 +46,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	httppprof "net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -65,9 +71,10 @@ func main() {
 	maxInFlight := flag.Int("maxinflight", 0, "fleet-wide cap on in-flight submissions (0 = unlimited)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
 	instance := flag.String("instance", "", "this gateway's stable instance ID (empty = random)")
+	pprofOn := flag.Bool("pprof", false, "serve Go profiling endpoints under /debug/pprof/")
 	flag.Parse()
 	if flag.NArg() != 0 || *backends == "" {
-		fmt.Fprintln(os.Stderr, "usage: regiongrow-gateway -backends host:port,... [-addr :8081] [-vnodes N] [-health D] [-probe D] [-eject N] [-maxbody BYTES] [-rate R] [-burst B] [-maxinflight N] [-drain D] [-instance ID]")
+		fmt.Fprintln(os.Stderr, "usage: regiongrow-gateway -backends host:port,... [-addr :8081] [-vnodes N] [-health D] [-probe D] [-eject N] [-maxbody BYTES] [-rate R] [-burst B] [-maxinflight N] [-drain D] [-instance ID] [-pprof]")
 		os.Exit(2)
 	}
 	var list []string
@@ -92,9 +99,22 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	var handler http.Handler = gw
+	if *pprofOn {
+		// The gateway handler owns "/", so the pprof routes are mounted on
+		// an explicit mux in front of it rather than the default mux.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", httppprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+		mux.Handle("/", gw)
+		handler = mux
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           gw,
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

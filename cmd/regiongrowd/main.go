@@ -8,7 +8,13 @@
 //	regiongrowd [-addr :8080] [-workers N] [-queue D] [-cache E]
 //	            [-maxbody BYTES] [-drain TIMEOUT] [-timeout D] [-warm]
 //	            [-jobcap N] [-jobttl D] [-cluster host:port,...]
-//	            [-instance ID]
+//	            [-instance ID] [-pprof]
+//
+// With -pprof, the daemon additionally serves Go's profiling endpoints
+// under /debug/pprof/ (CPU via ?seconds=N, heap, goroutine, and the rest),
+// so serving hot spots can be ranked on a live process with `go tool
+// pprof`. The endpoints are off by default: they reveal internals and cost
+// CPU while sampling, so only enable them where operators can reach them.
 //
 // -instance names this server's stable identity (default: a random ID
 // minted at startup). The instance is reported on /v1/stats and embedded
@@ -76,6 +82,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	httppprof "net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -100,9 +107,10 @@ func main() {
 	jobTTL := flag.Duration("jobttl", 15*time.Minute, "how long finished job records stay retrievable")
 	cluster := flag.String("cluster", "", "comma-separated regiongrow-worker addresses; enables the dist engine")
 	instance := flag.String("instance", "", "stable instance ID reported on /v1/stats and embedded in job IDs (empty = random)")
+	pprofOn := flag.Bool("pprof", false, "serve Go profiling endpoints under /debug/pprof/")
 	flag.Parse()
 	if flag.NArg() != 0 {
-		fmt.Fprintln(os.Stderr, "usage: regiongrowd [-addr :8080] [-workers N] [-queue D] [-cache E] [-maxbody BYTES] [-drain TIMEOUT] [-timeout D] [-warm] [-jobcap N] [-jobttl D] [-cluster host:port,...] [-instance ID]")
+		fmt.Fprintln(os.Stderr, "usage: regiongrowd [-addr :8080] [-workers N] [-queue D] [-cache E] [-maxbody BYTES] [-drain TIMEOUT] [-timeout D] [-warm] [-jobcap N] [-jobttl D] [-cluster host:port,...] [-instance ID] [-pprof]")
 		os.Exit(2)
 	}
 	var clusterAddrs []string
@@ -126,9 +134,22 @@ func main() {
 		ClusterWorkers: clusterAddrs,
 		Instance:       *instance,
 	})
+	var handler http.Handler = svc
+	if *pprofOn {
+		// The service handler owns "/", so the pprof routes are mounted on
+		// an explicit mux in front of it rather than the default mux.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", httppprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+		mux.Handle("/", svc)
+		handler = mux
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           svc,
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

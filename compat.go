@@ -1,0 +1,106 @@
+// Compatibility shims: the package's original one-shot entry points,
+// kept for existing callers and consolidated here as thin layers over
+// the Segmenter session API (New + (*Segmenter).Segment). Every shim
+// delegates to a shared package-level session, so legacy callers get
+// the session path's buffer pooling and context plumbing for free —
+// and there is exactly one code path to optimise and test. The facade
+// suite pins each shim byte-identical to a freshly constructed session,
+// so delegating (and pooling) cannot change results.
+//
+// New code should construct its own Segmenter: sessions add
+// cancellation, progress observation, per-session defaults, and
+// cluster membership, none of which these one-shots can express.
+package regiongrow
+
+import (
+	"context"
+	"fmt"
+
+	"regiongrow/internal/core"
+	"regiongrow/internal/dpengine"
+	"regiongrow/internal/machine"
+	"regiongrow/internal/mpengine"
+	"regiongrow/internal/shmengine"
+)
+
+// Package-level shim sessions. Sharing one pooled session per engine
+// kind means even legacy callers stop reallocating split buffers.
+var (
+	sequentialSession = mustSession(SequentialEngine)
+	nativeSession     = mustSession(NativeParallel)
+	serialSession     = newSerialSession()
+)
+
+func mustSession(kind EngineKind) *Segmenter {
+	s, err := New(kind)
+	if err != nil {
+		panic(err) // unreachable: both kinds are always constructible
+	}
+	return s
+}
+
+// newSerialSession builds the session behind SegmentSerial. The serial
+// merge baseline has no public EngineKind (it exists to be measured
+// against, not selected), so its session is assembled directly rather
+// than through New; it still runs the shared pooled Segment path.
+func newSerialSession() *Segmenter {
+	s := &Segmenter{kind: SequentialEngine, eng: core.SerialBaseline{}, pooling: true}
+	s.scratch.New = func() any { return new(core.Scratch) }
+	return s
+}
+
+// Segment runs the sequential reference engine.
+//
+// Deprecated: use New(SequentialEngine) and (*Segmenter).Segment, which
+// adds cancellation, progress observation, and buffer pooling. This shim
+// produces byte-identical output.
+func Segment(im *Image, cfg Config) (*Segmentation, error) {
+	return sequentialSession.Segment(context.Background(), im, cfg)
+}
+
+// SegmentSerial runs the serial merge baseline (one merge per iteration —
+// the R−1 worst case of the paper's complexity analysis). Use it to
+// quantify what parallel mutual merging buys.
+func SegmentSerial(im *Image, cfg Config) (*Segmentation, error) {
+	return serialSession.Segment(context.Background(), im, cfg)
+}
+
+// SegmentNative runs the native shared-memory engine: split, RAG build,
+// and merge rounds on a worker pool sized to GOMAXPROCS. Its labels are
+// byte-identical to Segment's for every Config; only the wall times
+// differ.
+//
+// Deprecated: use New(NativeParallel) and (*Segmenter).Segment, which
+// adds cancellation, progress observation, and buffer pooling. This shim
+// produces byte-identical output.
+func SegmentNative(im *Image, cfg Config) (*Segmentation, error) {
+	return nativeSession.Segment(context.Background(), im, cfg)
+}
+
+// NewEngine constructs the engine for a kind.
+//
+// Deprecated: construct a Segmenter with New instead — it runs the same
+// engine with cancellation, progress events, and buffer pooling. NewEngine
+// remains for callers that need the raw context-free Engine interface.
+func NewEngine(kind EngineKind) (Engine, error) {
+	switch kind {
+	case SequentialEngine:
+		return core.Sequential{}, nil
+	case CM2DataParallel8K:
+		return dpengine.New(machine.CM2_8K)
+	case CM2DataParallel16K:
+		return dpengine.New(machine.CM2_16K)
+	case CM5DataParallel:
+		return dpengine.New(machine.CM5_CMF)
+	case CM5LinearPermutation:
+		return mpengine.New(machine.CM5_LP)
+	case CM5Async:
+		return mpengine.New(machine.CM5_Async)
+	case NativeParallel:
+		return shmengine.New(), nil
+	case Distributed:
+		return nil, fmt.Errorf("regiongrow: the distributed engine needs worker addresses; construct it with New(Distributed, WithClusterWorkers(addrs))")
+	default:
+		return nil, fmt.Errorf("regiongrow: unknown engine kind %d", int(kind))
+	}
+}

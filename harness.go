@@ -4,10 +4,63 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"regiongrow/internal/machine"
 	"regiongrow/internal/stats"
 )
+
+// RunProfiled executes fn under optional pprof capture: a CPU profile
+// covering exactly fn's execution when cpuPath is non-empty, and a post-GC
+// heap profile taken after fn returns when memPath is non-empty. Either
+// path may be empty to skip that profile; with both empty fn just runs.
+// This is the capture path the bench harness and cmd/benchtab share, so
+// the profiles CI archives are taken the same way as the ones used to
+// rank split, RAG build, and merge during optimisation work.
+//
+// fn's error is returned as-is once capture is complete; profile-file
+// errors are only reported when fn itself succeeded.
+func RunProfiled(cpuPath, memPath string, fn func() error) error {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return fmt.Errorf("regiongrow: creating CPU profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("regiongrow: starting CPU profile: %w", err)
+		}
+		cpuFile = f
+	}
+	err := fn()
+	if cpuFile != nil {
+		pprof.StopCPUProfile()
+		if cerr := cpuFile.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("regiongrow: closing CPU profile: %w", cerr)
+		}
+	}
+	if memPath != "" {
+		runtime.GC() // settle live heap so the profile reflects retained memory
+		f, ferr := os.Create(memPath)
+		if ferr != nil {
+			if err == nil {
+				err = fmt.Errorf("regiongrow: creating heap profile: %w", ferr)
+			}
+			return err
+		}
+		werr := pprof.Lookup("heap").WriteTo(f, 0)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil && err == nil {
+			err = fmt.Errorf("regiongrow: writing heap profile: %w", werr)
+		}
+	}
+	return err
+}
 
 // Experiment is one image's results across all five machine
 // configurations — the unit the paper's tables report.

@@ -129,7 +129,7 @@ func (Sequential) SegmentContext(ctx context.Context, im *pixmap.Image, cfg Conf
 	run.Emit(StageEvent{Kind: EventGraphDone, Squares: sp.NumSquares})
 	asg := rag.NewAssignments()
 	stats, err := rag.DriveCtx(ctx, cfg.Tie,
-		func() bool { return g.ActiveEdges() > 0 },
+		g.HasActive,
 		func(effective rag.TiePolicy, iter int) int {
 			merged := g.MergeIteration(effective, cfg.Seed, iter, asg)
 			run.Emit(StageEvent{Kind: EventMergeIteration, Iteration: iter, Merges: merged})

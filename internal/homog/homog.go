@@ -3,14 +3,18 @@ package homog
 import "fmt"
 
 // Interval is a closed intensity interval [Lo, Hi]. The zero value is the
-// empty interval (Lo > Hi is never constructed; Empty uses Lo=255, Hi=0 so
-// that Union with anything yields the other operand).
+// empty interval (Lo > Hi is never constructed; Empty uses Lo=MaxIntensity,
+// Hi=0 so that Union with anything yields the other operand — and so that
+// the branch-free union `{min(Lo,Lo'), max(Hi,Hi')}` the packed path and
+// the arena graph compute is exact even when one operand is Empty).
 type Interval struct {
 	Lo, Hi uint8
 }
 
-// Empty returns the identity element for Union.
-func Empty() Interval { return Interval{Lo: 255, Hi: 0} }
+// Empty returns the identity element for Union. Its bounds derive from
+// MaxIntensity, the constant the packed SWAR path shares, so the scalar
+// and word-parallel representations cannot drift.
+func Empty() Interval { return Interval{Lo: MaxIntensity, Hi: 0} }
 
 // Point returns the degenerate interval [v, v] — a single pixel's interval.
 func Point(v uint8) Interval { return Interval{Lo: v, Hi: v} }

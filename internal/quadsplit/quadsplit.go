@@ -35,6 +35,7 @@ type Scratch struct {
 	iv           []homog.Interval
 	solid        []bool
 	claimed      []bool
+	rows         []uint8 // packed level-1 row scratch: 2·W bytes
 }
 
 // grownInt32 returns buf resized to n, reallocating only on growth.
@@ -57,6 +58,14 @@ func grownIV(buf *[]homog.Interval, n int) []homog.Interval {
 func grownBool(buf *[]bool, n int) []bool {
 	if cap(*buf) < n {
 		*buf = make([]bool, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+func grownU8(buf *[]uint8, n int) []uint8 {
+	if cap(*buf) < n {
+		*buf = make([]uint8, n)
 	}
 	*buf = (*buf)[:n]
 	return *buf
@@ -151,7 +160,12 @@ func SplitCtx(ctx context.Context, im *pixmap.Image, crit homog.Criterion, opt O
 
 	// Level state: per-level block intervals and solidity. Level l blocks
 	// have side 2^l; block (bx,by) covers pixels [bx·s,(bx+1)·s)×[by·s,...).
-	// Blocks that extend past the image boundary are never solid.
+	// Blocks that extend past the image boundary are never solid. Level 0
+	// (one pixel per block, every block solid, interval = Point) is never
+	// materialised: level 1 is computed straight from the raster through
+	// the packed SWAR row path, and the claim pass below handles the pixel
+	// level specially. That removes the two W·H working arrays and the
+	// per-pixel init pass the old kernel paid for every run.
 	type level struct {
 		bw, bh int
 		iv     []homog.Interval
@@ -159,24 +173,7 @@ func SplitCtx(ctx context.Context, im *pixmap.Image, crit homog.Criterion, opt O
 	}
 	maxLevel := bits.Len(uint(res.MaxSquareUsed)) - 1
 
-	levels := make([]level, 1, maxLevel+1)
-	// Level 0 is the pixel-sized working set — the big one; it and the
-	// claim mask below are the buffers worth reusing. Higher levels shrink
-	// geometrically and stay cheap to allocate.
-	lev0 := level{bw: w, bh: h}
-	if sc := opt.Scratch; sc != nil {
-		lev0.iv = grownIV(&sc.iv, w*h)
-		lev0.solid = grownBool(&sc.solid, w*h)
-	} else {
-		lev0.iv = make([]homog.Interval, w*h)
-		lev0.solid = make([]bool, w*h)
-	}
-	levels[0] = lev0
-	//vet:noctx single bounded per-pixel init pass that cannot block; ctx is checked at every split level below
-	for i, p := range im.Pix {
-		levels[0].iv[i] = homog.Point(p)
-		levels[0].solid[i] = true
-	}
+	levels := make([]level, 1, maxLevel+1) // levels[0] stays zero: the pixel level is implicit
 
 	top := 0 // highest level with at least one solid block
 	for l := 1; l <= maxLevel; l++ {
@@ -184,40 +181,85 @@ func SplitCtx(ctx context.Context, im *pixmap.Image, crit homog.Criterion, opt O
 			return nil, err
 		}
 		s := 1 << l
-		prev := &levels[l-1]
 		cur := level{
 			bw: (w + s - 1) / s,
 			bh: (h + s - 1) / s,
 		}
-		cur.iv = make([]homog.Interval, cur.bw*cur.bh)
-		cur.solid = make([]bool, cur.bw*cur.bh)
 		combined := 0
-		for by := 0; by < cur.bh; by++ {
-			for bx := 0; bx < cur.bw; bx++ {
-				i := by*cur.bw + bx
-				// Children at level l−1: the 2×2 group with NW child (2bx,2by).
-				cx, cy := 2*bx, 2*by
-				if cx+1 >= prev.bw || cy+1 >= prev.bh {
-					continue // children out of range: block incomplete
+		if l == 1 {
+			// 2×2 pixel blocks, straight from the raster: the vertical
+			// min/max of each row pair runs 8 pixels per uint64 word
+			// (homog.RowsMinMax), the horizontal pair fold and criterion
+			// test then run per block. These are the only buffers worth
+			// pooling now, so they draw from the Scratch.
+			var vlo, vhi []uint8
+			if sc := opt.Scratch; sc != nil {
+				rows := grownU8(&sc.rows, 2*w)
+				vlo, vhi = rows[:w], rows[w:]
+				cur.iv = grownIV(&sc.iv, cur.bw*cur.bh)
+				cur.solid = grownBool(&sc.solid, cur.bw*cur.bh)
+				clear(cur.solid) // iv needs no clear: it is read only under solid
+			} else {
+				vlo = make([]uint8, w)
+				vhi = make([]uint8, w)
+				cur.iv = make([]homog.Interval, cur.bw*cur.bh)
+				cur.solid = make([]bool, cur.bw*cur.bh)
+			}
+			fullBW := w / 2 // blocks fully inside the image horizontally
+			for by := 0; by < cur.bh; by++ {
+				y := 2 * by
+				if y+1 >= h {
+					break // bottom row of vertically incomplete blocks: never solid
 				}
-				c0 := cy*prev.bw + cx
-				c1 := c0 + 1
-				c2 := c0 + prev.bw
-				c3 := c2 + 1
-				if !(prev.solid[c0] && prev.solid[c1] && prev.solid[c2] && prev.solid[c3]) {
-					continue
+				homog.RowsMinMax(im.Pix[y*w:y*w+w], im.Pix[(y+1)*w:(y+1)*w+w], vlo, vhi)
+				base := by * cur.bw
+				for bx := 0; bx < fullBW; bx++ {
+					lo := min(vlo[2*bx], vlo[2*bx+1])
+					hi := max(vhi[2*bx], vhi[2*bx+1])
+					union := homog.Interval{Lo: lo, Hi: hi}
+					if crit.Homogeneous(union) {
+						cur.iv[base+bx] = union
+						cur.solid[base+bx] = true
+						combined++
+					}
 				}
-				// Geometric completeness: block must be fully inside the image.
-				if (bx+1)*s > w || (by+1)*s > h {
-					continue
+			}
+		} else {
+			prev := &levels[l-1]
+			cur.iv = make([]homog.Interval, cur.bw*cur.bh)
+			cur.solid = make([]bool, cur.bw*cur.bh)
+			for by := 0; by < cur.bh; by++ {
+				for bx := 0; bx < cur.bw; bx++ {
+					i := by*cur.bw + bx
+					// Children at level l−1: the 2×2 group with NW child (2bx,2by).
+					cx, cy := 2*bx, 2*by
+					if cx+1 >= prev.bw || cy+1 >= prev.bh {
+						continue // children out of range: block incomplete
+					}
+					c0 := cy*prev.bw + cx
+					c1 := c0 + 1
+					c2 := c0 + prev.bw
+					c3 := c2 + 1
+					if !(prev.solid[c0] && prev.solid[c1] && prev.solid[c2] && prev.solid[c3]) {
+						continue
+					}
+					// Geometric completeness: block must be fully inside the image.
+					if (bx+1)*s > w || (by+1)*s > h {
+						continue
+					}
+					// Branch-free 4-way union: solid children are never
+					// empty, so the min/max form is the exact union.
+					union := homog.Interval{
+						Lo: min(min(prev.iv[c0].Lo, prev.iv[c1].Lo), min(prev.iv[c2].Lo, prev.iv[c3].Lo)),
+						Hi: max(max(prev.iv[c0].Hi, prev.iv[c1].Hi), max(prev.iv[c2].Hi, prev.iv[c3].Hi)),
+					}
+					if !crit.Homogeneous(union) {
+						continue
+					}
+					cur.iv[i] = union
+					cur.solid[i] = true
+					combined++
 				}
-				union := prev.iv[c0].Union(prev.iv[c1]).Union(prev.iv[c2]).Union(prev.iv[c3])
-				if !crit.Homogeneous(union) {
-					continue
-				}
-				cur.iv[i] = union
-				cur.solid[i] = true
-				combined++
 			}
 		}
 		levels = append(levels, cur)
@@ -248,7 +290,7 @@ func SplitCtx(ctx context.Context, im *pixmap.Image, crit homog.Criterion, opt O
 	} else {
 		claimed = make([]bool, w*h)
 	}
-	for l := top; l >= 0; l-- {
+	for l := top; l >= 1; l-- {
 		s := 1 << l
 		lv := &levels[l]
 		for by := 0; by < lv.bh; by++ {
@@ -271,6 +313,16 @@ func SplitCtx(ctx context.Context, im *pixmap.Image, crit homog.Criterion, opt O
 					}
 				}
 			}
+		}
+	}
+	// Pixel level, implicitly: every still-unclaimed pixel is its own
+	// 1×1 square (level 0 is always solid, so no solidity check needed).
+	//vet:noctx bounded per-pixel sweep that cannot block; ctx was checked at every split level above
+	for i := range claimed {
+		if !claimed[i] {
+			res.Labels[i] = int32(i)
+			res.Size[i] = 1
+			res.NumSquares++
 		}
 	}
 	return res, nil

@@ -24,12 +24,12 @@ func TestBuildFromLabelsSmall(t *testing.T) {
 	if g.NumEdges() != 1 {
 		t.Fatalf("edges = %d", g.NumEdges())
 	}
-	v0 := g.Verts[0]
-	if v0.IV.Lo != 10 || v0.IV.Hi != 12 {
-		t.Fatalf("vertex 0 interval %v", v0.IV)
+	iv0 := g.IntervalOf(0)
+	if iv0.Lo != 10 || iv0.Hi != 12 {
+		t.Fatalf("vertex 0 interval %v", iv0)
 	}
-	if g.Weight(g.Verts[0], g.Verts[1]) != 191 {
-		t.Fatalf("weight = %d", g.Weight(g.Verts[0], g.Verts[1]))
+	if g.Weight(0, 1) != 191 {
+		t.Fatalf("weight = %d", g.Weight(0, 1))
 	}
 	if g.ActiveEdges() != 0 {
 		t.Fatal("inhomogeneous edge counted active")
@@ -63,7 +63,7 @@ func TestChooseMinWeight(t *testing.T) {
 	g.AddVertex(2, homog.Interval{Lo: 55, Hi: 55}) // weight 5
 	g.AddEdge(0, 1)
 	g.AddEdge(0, 2)
-	if c := g.Choose(g.Verts[0], SmallestID, 0, 1); c != 2 {
+	if c := g.Choose(0, SmallestID, 0, 1); c != 2 {
 		t.Fatalf("choice = %d, want 2 (lowest weight)", c)
 	}
 }
@@ -73,7 +73,7 @@ func TestChooseRespectsCriterion(t *testing.T) {
 	g.AddVertex(0, homog.Interval{Lo: 50, Hi: 50})
 	g.AddVertex(1, homog.Interval{Lo: 60, Hi: 60})
 	g.AddEdge(0, 1)
-	if c := g.Choose(g.Verts[0], SmallestID, 0, 1); c != NoChoice {
+	if c := g.Choose(0, SmallestID, 0, 1); c != NoChoice {
 		t.Fatalf("choice = %d, want NoChoice", c)
 	}
 }
@@ -127,18 +127,18 @@ func TestContract(t *testing.T) {
 	if g.NumVertices() != 2 {
 		t.Fatalf("vertices after contract = %d", g.NumVertices())
 	}
-	v0 := g.Verts[0]
-	if v0.IV.Lo != 10 || v0.IV.Hi != 40 {
-		t.Fatalf("merged interval %v", v0.IV)
+	iv0 := g.IntervalOf(0)
+	if iv0.Lo != 10 || iv0.Hi != 40 {
+		t.Fatalf("merged interval %v", iv0)
 	}
-	if _, ok := v0.Adj[2]; !ok {
+	if !g.HasEdge(0, 2) {
 		t.Fatal("neighbour of loser not inherited")
 	}
-	if _, ok := v0.Adj[1]; ok {
-		t.Fatal("loser still referenced")
+	if g.Contains(1) {
+		t.Fatal("loser still present")
 	}
-	if _, ok := g.Verts[2].Adj[1]; ok {
-		t.Fatal("third party still points at loser")
+	if g.Degree(2) != 1 {
+		t.Fatalf("third party degree = %d, want 1 (still points at loser?)", g.Degree(2))
 	}
 	if g.NumEdges() != 1 {
 		t.Fatalf("edges after contract = %d (parallel edge not coalesced?)", g.NumEdges())
@@ -184,9 +184,12 @@ func TestMergeAllRespectsThreshold(t *testing.T) {
 	g.MergeAll(SmallestID, 0)
 	// Whatever merged, every surviving vertex is homogeneous and no
 	// active edge remains.
-	for _, v := range g.Verts {
-		if v.IV.Range() > 10 {
-			t.Fatalf("vertex %d has range %d", v.ID, v.IV.Range())
+	for s := 0; s < g.Slots(); s++ {
+		if !g.SlotAlive(s) {
+			continue
+		}
+		if iv := g.SlotInterval(s); iv.Range() > 10 {
+			t.Fatalf("vertex %d has range %d", g.SlotID(s), iv.Range())
 		}
 	}
 	if g.ActiveEdges() != 0 {
@@ -205,10 +208,10 @@ func TestMergeIterationMutualOnly(t *testing.T) {
 	if merged != 1 {
 		t.Fatalf("merged = %d, want 1", merged)
 	}
-	if _, ok := g.Verts[0]; !ok {
+	if !g.Contains(0) {
 		t.Fatal("vertex 0 should survive as representative")
 	}
-	if _, ok := g.Verts[1]; ok {
+	if g.Contains(1) {
 		t.Fatal("vertex 1 should be absorbed")
 	}
 }
@@ -249,8 +252,8 @@ func TestMergePostconditions(t *testing.T) {
 		if g.ActiveEdges() != 0 {
 			return false
 		}
-		for _, v := range g.Verts {
-			if v.IV.Range() > tVal {
+		for s := 0; s < g.Slots(); s++ {
+			if g.SlotAlive(s) && g.SlotInterval(s).Range() > tVal {
 				return false
 			}
 		}

@@ -2,7 +2,6 @@ package rag
 
 import (
 	"context"
-	"sort"
 )
 
 // MergeSerial is the sequential baseline the paper's complexity section
@@ -44,27 +43,23 @@ func (g *Graph) MergeSerialCtx(ctx context.Context) (MergeStats, *Assignments, e
 }
 
 // bestActiveEdge scans for the active edge minimising (weight, min ID,
-// max ID). Vertices are visited in sorted order so the scan is
-// deterministic regardless of map iteration.
+// max ID). The scan walks the arena in slot order; the tie-break is a
+// total order over edges, so any visitation order yields the same winner.
 func (g *Graph) bestActiveEdge() (a, b int32, found bool) {
-	ids := make([]int32, 0, len(g.Verts))
-	for id := range g.Verts {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	bestW := -1
-	for _, v := range ids {
-		vv := g.Verts[v]
-		//vet:ordered min-reduction with a total lexicographic tie-break, so the scan order cannot change the winner
-		for w := range vv.Adj {
-			if w < v {
-				continue // visit each undirected edge once, from its smaller end
+	for s := range g.adj {
+		for _, n := range g.adj[s] {
+			if n < int32(s) {
+				continue // visit each undirected edge once
 			}
-			union := vv.IV.Union(g.Verts[w].IV)
-			if !g.Crit.Homogeneous(union) {
+			if !g.activeSlots(int32(s), n) {
 				continue
 			}
-			wt := union.Range()
+			wt := g.weightSlots(int32(s), n)
+			v, w := g.ids[s], g.ids[n]
+			if v > w {
+				v, w = w, v
+			}
 			if !found || wt < bestW || (wt == bestW && less(v, w, a, b)) {
 				bestW, a, b, found = wt, v, w, true
 			}

@@ -54,8 +54,8 @@ func TestMergeSerialPostconditions(t *testing.T) {
 				return false // serial means exactly one per iteration
 			}
 		}
-		for _, v := range g.Verts {
-			if v.IV.Range() > tVal {
+		for s := 0; s < g.Slots(); s++ {
+			if g.SlotAlive(s) && g.SlotInterval(s).Range() > tVal {
 				return false
 			}
 		}

@@ -3,7 +3,6 @@ package shmengine
 import (
 	"context"
 	"runtime"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -63,16 +62,16 @@ func (e *Engine) SegmentContext(ctx context.Context, im *pixmap.Image, cfg core.
 	run.Emit(core.StageEvent{Kind: core.EventSplitDone, Iterations: sp.Iterations, Squares: sp.NumSquares})
 
 	t1 := time.Now() //vet:timing stage wall-time for Stats; never reaches labels or wire bytes
-	g, ids, err := buildRAG(ctx, im, sp.Labels, crit, sp.MaxSquareUsed, workers)
+	g, err := buildRAG(ctx, im, sp.Labels, crit, sp.MaxSquareUsed, workers)
 	if err != nil {
 		return nil, err
 	}
 	run.Emit(core.StageEvent{Kind: core.EventGraphDone, Squares: sp.NumSquares})
-	stats, asg, err := mergeAll(ctx, g, ids, cfg.Tie, cfg.Seed, workers, run)
+	stats, asg, err := mergeAll(ctx, g, cfg.Tie, cfg.Seed, workers, run)
 	if err != nil {
 		return nil, err
 	}
-	labels := relabel(sp.Labels, ids, asg, workers)
+	labels := relabel(sp.Labels, g, asg, workers)
 	mergeWall := time.Since(t1) //vet:timing stage wall-time for Stats; never reaches labels or wire bytes
 
 	seg := &core.Segmentation{
@@ -121,15 +120,15 @@ func parallel(workers, n int, fn func(start, end int)) {
 // the worker pool. Split regions are squares no larger than the cap and
 // aligned to their own size, so a row band whose height is a multiple of
 // the cap contains only whole regions: each band yields a complete partial
-// graph (full vertex intervals, every intra-band edge), and the bands are
-// stitched by adding the edges that cross band boundaries. The returned ID
-// list holds every region ID in ascending order; mergeAll and relabel
-// reuse it.
-func buildRAG(ctx context.Context, im *pixmap.Image, labels []int32, crit homog.Criterion, cap, workers int) (*rag.Graph, []int32, error) {
+// graph (full vertex intervals, every intra-band edge — built by the
+// run-length rag builder over a band-sized image view), and the bands are
+// grafted into one arena in band order and stitched by adding the edges
+// that cross band boundaries.
+func buildRAG(ctx context.Context, im *pixmap.Image, labels []int32, crit homog.Criterion, cap, workers int) (*rag.Graph, error) {
 	w, h := im.W, im.H
 	g := rag.NewGraph(crit)
 	if w == 0 || h == 0 {
-		return g, nil, nil
+		return g, nil
 	}
 	if cap < 1 {
 		cap = 1
@@ -154,47 +153,27 @@ func buildRAG(ctx context.Context, im *pixmap.Image, labels []int32, crit homog.
 	partial := make([]*rag.Graph, len(starts))
 	parallel(workers, len(starts), func(s, e int) {
 		for b := s; b < e; b++ {
-			// Band boundary: stop building once the run is cancelled; the
-			// partial graphs are discarded below.
-			if ctx.Err() != nil {
-				return
-			}
-			bg := rag.NewGraph(crit)
 			y0, y1 := starts[b], ends[b]
-			for y := y0; y < y1; y++ {
-				row := y * w
-				for x := 0; x < w; x++ {
-					i := row + x
-					bg.AddVertex(labels[i], homog.Point(im.Pix[i]))
-				}
-			}
-			for y := y0; y < y1; y++ {
-				row := y * w
-				for x := 0; x < w; x++ {
-					i := row + x
-					if x+1 < w && labels[i] != labels[i+1] {
-						bg.AddEdge(labels[i], labels[i+1])
-					}
-					if y+1 < y1 && labels[i] != labels[i+w] {
-						bg.AddEdge(labels[i], labels[i+w])
-					}
-				}
+			band := &pixmap.Image{W: w, H: y1 - y0, Pix: im.Pix[y0*w : y1*w]}
+			// Cancellation is checked inside the builder; a cancelled band
+			// stays nil and is discarded below.
+			bg, err := rag.BuildFromLabelsCtx(ctx, band, labels[y0*w:y1*w], crit)
+			if err != nil {
+				return
 			}
 			partial[b] = bg
 		}
 	})
 
 	if err := ctx.Err(); err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 
-	// Merge the partial graphs (vertex ID sets are disjoint across bands)
+	// Graft the partial graphs (vertex ID sets are disjoint across bands)
 	// and stitch the edges crossing each band boundary.
+	//vet:noctx bounded graft of at most workers partial graphs, right after the ctx check above; cannot block
 	for _, bg := range partial {
-		//vet:ordered keyed transfer between maps with disjoint key sets commutes
-		for id, v := range bg.Verts {
-			g.Verts[id] = v
-		}
+		g.Absorb(bg)
 	}
 	//vet:noctx bounded stitch over at most workers-1 band boundaries, right after the ctx check above; cannot block
 	for _, y1 := range ends {
@@ -209,31 +188,22 @@ func buildRAG(ctx context.Context, im *pixmap.Image, labels []int32, crit homog.
 			}
 		}
 	}
-
-	ids := make([]int32, 0, len(g.Verts))
-	for id := range g.Verts {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	return g, ids, nil
+	return g, nil
 }
 
 // mergeAll is the parallel twin of rag.(*Graph).MergeAll: the same
 // rag.Drive control loop, with the per-vertex choice computation and the
-// active-edge test fanned out over the worker pool. Because choices are
-// pure functions of the graph snapshot, the result is identical to the
-// sequential kernel's.
-func mergeAll(ctx context.Context, g *rag.Graph, ids []int32, policy rag.TiePolicy, seed uint64, workers int, run core.Run) (rag.MergeStats, *rag.Assignments, error) {
+// active-edge test fanned out over the worker pool as read-only scans of
+// the arena. Because choices are pure functions of the graph snapshot,
+// the result is identical to the sequential kernel's.
+func mergeAll(ctx context.Context, g *rag.Graph, policy rag.TiePolicy, seed uint64, workers int, run core.Run) (rag.MergeStats, *rag.Assignments, error) {
 	asg := rag.NewAssignments()
-	verts := make([]*rag.Vertex, len(ids))
-	for i, id := range ids {
-		verts[i] = g.Verts[id]
-	}
+	var choices []int32 // slot-indexed scratch reused across rounds
 	stats, err := rag.DriveCtx(ctx, policy,
-		func() bool { return hasActiveEdge(g, verts, workers) },
+		func() bool { return hasActiveEdge(g, workers) },
 		func(effective rag.TiePolicy, iter int) int {
 			var merged int
-			merged, verts = mergeIteration(g, verts, effective, seed, iter, asg, workers)
+			merged, choices = mergeIteration(g, effective, seed, iter, asg, workers, choices)
 			run.Emit(core.StageEvent{Kind: core.EventMergeIteration, Iteration: iter, Merges: merged})
 			return merged
 		})
@@ -241,81 +211,77 @@ func mergeAll(ctx context.Context, g *rag.Graph, ids []int32, policy rag.TiePoli
 }
 
 // hasActiveEdge reports whether any edge still satisfies the criterion,
-// scanning vertex adjacencies in parallel with an early-exit flag.
-func hasActiveEdge(g *rag.Graph, verts []*rag.Vertex, workers int) bool {
+// scanning slot adjacencies in parallel with an early-exit flag.
+func hasActiveEdge(g *rag.Graph, workers int) bool {
 	var found atomic.Bool
-	parallel(workers, len(verts), func(s, e int) {
+	parallel(workers, g.Slots(), func(s, e int) {
 		for i := s; i < e && !found.Load(); i++ {
-			v := verts[i]
-			for wid := range v.Adj {
-				if g.Crit.Homogeneous(v.IV.Union(g.Verts[wid].IV)) {
-					found.Store(true)
-					return
-				}
+			if g.SlotAlive(i) && g.SlotHasActive(i) {
+				found.Store(true)
+				return
 			}
 		}
 	})
 	return found.Load()
 }
 
-// mergeIteration executes one merge round: parallel choice computation,
-// mutual-pair detection, and sequential contraction of the (disjoint)
-// pairs in ascending-ID order — the same order rag.MergeIteration uses.
-// It returns the number of pairs merged and the surviving vertex slice.
-func mergeIteration(g *rag.Graph, verts []*rag.Vertex, policy rag.TiePolicy, seed uint64, iter int, asg *rag.Assignments, workers int) (int, []*rag.Vertex) {
-	choices := make([]int32, len(verts))
-	parallel(workers, len(verts), func(s, e int) {
-		var tied []int32 // per-chunk tie scratch, amortised across vertices
+// mergeIteration executes one merge round: parallel choice computation
+// into a slot-indexed array, then mutual-pair detection and contraction of
+// the (disjoint) pairs from the smaller-ID endpoint — exactly the
+// rag.MergeIteration semantics, so the result is byte-identical to the
+// sequential kernel. It returns the number of pairs merged and the
+// (possibly grown) choice scratch.
+func mergeIteration(g *rag.Graph, policy rag.TiePolicy, seed uint64, iter int, asg *rag.Assignments, workers int, choices []int32) (int, []int32) {
+	n := g.Slots()
+	if cap(choices) < n {
+		choices = make([]int32, n)
+	}
+	choices = choices[:n]
+	parallel(workers, n, func(s, e int) {
+		var tied []int32 // per-chunk tie scratch, amortised across slots
 		for i := s; i < e; i++ {
-			choices[i], tied = g.ChooseBuf(verts[i], policy, seed, iter, tied)
+			if !g.SlotAlive(i) {
+				choices[i] = -1
+				continue
+			}
+			var c int
+			c, tied = g.SlotChoice(i, policy, seed, iter, tied)
+			choices[i] = int32(c)
 		}
 	})
 
-	choiceOf := make(map[int32]int32, len(verts))
-	for i, v := range verts {
-		if choices[i] != rag.NoChoice {
-			choiceOf[v.ID] = choices[i]
+	merged := 0
+	for s := 0; s < n; s++ {
+		c := choices[s]
+		if c < 0 || int(choices[c]) != s || g.SlotID(s) >= g.SlotID(int(c)) {
+			continue
 		}
+		g.ContractSlots(s, int(c))
+		asg.Record(g.SlotID(int(c)), g.SlotID(s))
+		merged++
 	}
-	var pairs [][2]int32
-	for i, v := range verts {
-		c := choices[i]
-		if c != rag.NoChoice && v.ID < c && choiceOf[c] == v.ID {
-			pairs = append(pairs, [2]int32{v.ID, c})
-		}
-	}
-	sort.Slice(pairs, func(i, j int) bool { return pairs[i][0] < pairs[j][0] })
-
-	if len(pairs) == 0 {
-		return 0, verts
-	}
-	losers := make(map[int32]struct{}, len(pairs))
-	for _, p := range pairs {
-		g.Contract(p[0], p[1])
-		asg.Record(p[1], p[0])
-		losers[p[1]] = struct{}{}
-	}
-	alive := verts[:0]
-	for _, v := range verts {
-		if _, gone := losers[v.ID]; !gone {
-			alive = append(alive, v)
-		}
-	}
-	return len(pairs), alive
+	return merged, choices
 }
 
 // relabel maps split-stage labels through the merge assignments. Roots are
 // resolved once per region sequentially (Find compresses paths, so it must
-// not race); the per-pixel mapping then fans out over the pool.
-func relabel(labels []int32, ids []int32, asg *rag.Assignments, workers int) []int32 {
-	roots := make(map[int32]int32, len(ids))
-	for _, id := range ids {
+// not race); the per-pixel mapping then fans out over the pool, with a
+// last-label run cache keeping most pixels off the map.
+func relabel(labels []int32, g *rag.Graph, asg *rag.Assignments, workers int) []int32 {
+	roots := make(map[int32]int32, g.Slots())
+	for s := 0; s < g.Slots(); s++ {
+		id := g.SlotID(s)
 		roots[id] = asg.Find(id)
 	}
 	out := make([]int32, len(labels))
 	parallel(workers, len(labels), func(s, e int) {
+		lastLab, lastRoot := int32(-1), int32(-1) // labels are pixel indices, never negative
 		for i := s; i < e; i++ {
-			out[i] = roots[labels[i]]
+			lab := labels[i]
+			if lab != lastLab {
+				lastLab, lastRoot = lab, roots[lab]
+			}
+			out[i] = lastRoot
 		}
 	})
 	return out

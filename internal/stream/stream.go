@@ -107,7 +107,7 @@ func Segment(ctx context.Context, r io.Reader, w io.Writer, cfg core.Config, run
 	t1 := time.Now() //vet:timing stage wall-time for Result; never reaches labels or output bytes
 	asg := rag.NewAssignments()
 	mstats, err := rag.DriveCtx(ctx, cfg.Tie,
-		func() bool { return g.ActiveEdges() > 0 },
+		g.HasActive,
 		func(effective rag.TiePolicy, iter int) int {
 			merged := g.MergeIteration(effective, cfg.Seed, iter, asg)
 			run.Emit(core.StageEvent{Kind: core.EventMergeIteration, Iteration: iter, Merges: merged})
@@ -232,9 +232,13 @@ func emit(ctx context.Context, w io.Writer, spool *os.File, g *rag.Graph, asg *r
 	var shade map[int32]uint8
 	if output == OutputRecolour {
 		shade = make(map[int32]uint8, g.NumVertices())
-		//vet:ordered keyed writes into the shade map commute across iteration orders
-		for id, v := range g.Verts {
-			shade[id] = uint8((int(v.IV.Lo) + int(v.IV.Hi)) / 2)
+		//vet:noctx bounded in-memory scan over graph slots; the per-row emit loop below carries the ctx checks
+		for s := 0; s < g.Slots(); s++ {
+			if !g.SlotAlive(s) {
+				continue
+			}
+			iv := g.SlotInterval(s)
+			shade[g.SlotID(s)] = uint8((int(iv.Lo) + int(iv.Hi)) / 2)
 		}
 	}
 

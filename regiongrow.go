@@ -37,12 +37,12 @@
 // property-based test suite enforces it — so the engine choice affects
 // only the simulated machine times reported in the Segmentation.
 //
-// The package-level Segment, SegmentNative, and NewEngine remain as thin
-// deprecated shims over Segmenter sessions.
+// The package-level one-shots (Segment, SegmentSerial, SegmentNative) and
+// NewEngine remain as thin deprecated shims over Segmenter sessions,
+// consolidated in compat.go.
 package regiongrow
 
 import (
-	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
@@ -51,14 +51,11 @@ import (
 	"strings"
 
 	"regiongrow/internal/core"
-	"regiongrow/internal/dpengine"
 	"regiongrow/internal/machine"
-	"regiongrow/internal/mpengine"
 	"regiongrow/internal/pixmap"
 	"regiongrow/internal/quadsplit"
 	"regiongrow/internal/rag"
 	"regiongrow/internal/regstats"
-	"regiongrow/internal/shmengine"
 )
 
 // Image is a gray-scale raster; see the pixmap documentation for methods.
@@ -165,17 +162,40 @@ func (k EngineKind) String() string {
 	}
 }
 
-// ParseEngineKind resolves the names printed by String. Matching is
-// case-insensitive.
-func ParseEngineKind(s string) (EngineKind, error) {
-	for _, k := range []EngineKind{SequentialEngine, CM2DataParallel8K,
+// parseableEngineKinds is every kind ParseEngineKind accepts: the five
+// simulated configurations of AllEngineKinds plus the kinds that model
+// no machine. Its order is the order enumerated in parse errors.
+func parseableEngineKinds() []EngineKind {
+	return []EngineKind{SequentialEngine, CM2DataParallel8K,
 		CM2DataParallel16K, CM5DataParallel, CM5LinearPermutation, CM5Async,
-		NativeParallel, Distributed} {
+		NativeParallel, Distributed}
+}
+
+// enumerate renders a parse error's valid-choice list ("a, b, or c") from
+// the same enumerations the parse functions match against, so the message
+// cannot drift from what is actually accepted.
+func enumerate(names []string) string {
+	switch len(names) {
+	case 0:
+		return ""
+	case 1:
+		return names[0]
+	}
+	return strings.Join(names[:len(names)-1], ", ") + ", or " + names[len(names)-1]
+}
+
+// ParseEngineKind resolves the names printed by String. Matching is
+// case-insensitive; the error enumerates every valid name.
+func ParseEngineKind(s string) (EngineKind, error) {
+	kinds := parseableEngineKinds()
+	names := make([]string, len(kinds))
+	for i, k := range kinds {
 		if strings.EqualFold(k.String(), s) {
 			return k, nil
 		}
+		names[i] = k.String()
 	}
-	return 0, fmt.Errorf("regiongrow: unknown engine %q (want sequential, cm2-8k, cm2-16k, cm5-cmf, cm5-lp, cm5-async, native, or dist)", s)
+	return 0, fmt.Errorf("regiongrow: unknown engine %q (valid engines: %s)", s, enumerate(names))
 }
 
 // MarshalText implements encoding.TextMarshaler with the String name, so
@@ -210,15 +230,30 @@ func (k *EngineKind) UnmarshalText(text []byte) error {
 func ParseTiePolicy(s string) (TiePolicy, error) {
 	var p TiePolicy
 	if err := p.UnmarshalText([]byte(s)); err != nil {
-		return 0, fmt.Errorf("regiongrow: unknown tie policy %q (want random, smallest-id, or largest-id)", s)
+		policies := AllTiePolicies()
+		names := make([]string, len(policies))
+		for i, c := range policies {
+			names[i] = c.String()
+		}
+		return 0, fmt.Errorf("regiongrow: unknown tie policy %q (valid tie policies: %s)", s, enumerate(names))
 	}
 	return p, nil
 }
 
 // ParsePaperImageID resolves a paper image by short name: "image1" through
-// "image6" (or just "1" through "6"), case-insensitive.
+// "image6" (or just "1" through "6"), case-insensitive. The error
+// enumerates every valid name.
 func ParsePaperImageID(s string) (PaperImageID, error) {
-	return pixmap.ParsePaperImageID(s)
+	id, err := pixmap.ParsePaperImageID(s)
+	if err != nil {
+		ids := AllPaperImageIDs()
+		names := make([]string, len(ids))
+		for i, v := range ids {
+			names[i] = v.ShortName()
+		}
+		return 0, fmt.Errorf("regiongrow: unknown paper image %q (valid images: %s)", s, enumerate(names))
+	}
+	return id, nil
 }
 
 // MachineConfig returns the simulated machine configuration of an engine
@@ -245,34 +280,6 @@ func (k EngineKind) MachineConfig() (machine.ConfigID, bool) {
 // Config.MaxSquare.
 const Unbounded = quadsplit.Unbounded
 
-// NewEngine constructs the engine for a kind.
-//
-// Deprecated: construct a Segmenter with New instead — it runs the same
-// engine with cancellation, progress events, and buffer pooling. NewEngine
-// remains for callers that need the raw context-free Engine interface.
-func NewEngine(kind EngineKind) (Engine, error) {
-	switch kind {
-	case SequentialEngine:
-		return core.Sequential{}, nil
-	case CM2DataParallel8K:
-		return dpengine.New(machine.CM2_8K)
-	case CM2DataParallel16K:
-		return dpengine.New(machine.CM2_16K)
-	case CM5DataParallel:
-		return dpengine.New(machine.CM5_CMF)
-	case CM5LinearPermutation:
-		return mpengine.New(machine.CM5_LP)
-	case CM5Async:
-		return mpengine.New(machine.CM5_Async)
-	case NativeParallel:
-		return shmengine.New(), nil
-	case Distributed:
-		return nil, fmt.Errorf("regiongrow: the distributed engine needs worker addresses; construct it with New(Distributed, WithClusterWorkers(addrs))")
-	default:
-		return nil, fmt.Errorf("regiongrow: unknown engine kind %d", int(kind))
-	}
-}
-
 // AllEngineKinds lists the five simulated configurations in the order of
 // the paper's tables. SequentialEngine and NativeParallel are not included:
 // they model no machine, so they have no row in the paper's tables.
@@ -281,50 +288,16 @@ func AllEngineKinds() []EngineKind {
 		CM5DataParallel, CM5LinearPermutation, CM5Async}
 }
 
-// Package-level shim sessions: the deprecated one-shots below run through
-// pooled Segmenters so even legacy callers stop reallocating split
-// buffers. Pooling cannot change results — the property suite pins the
-// shims byte-identical to fresh runs.
-var (
-	sequentialSession = mustSession(SequentialEngine)
-	nativeSession     = mustSession(NativeParallel)
-)
+// AllTiePolicies lists every tie policy in declaration order — the set
+// ParseTiePolicy accepts. Like AllEngineKinds, it is the enumeration UIs
+// and flag help derive from, and the round-trip tests pin the parse
+// functions to it so the lists cannot drift.
+func AllTiePolicies() []TiePolicy { return rag.AllTiePolicies() }
 
-func mustSession(kind EngineKind) *Segmenter {
-	s, err := New(kind)
-	if err != nil {
-		panic(err) // unreachable: both kinds are always constructible
-	}
-	return s
-}
-
-// Segment runs the sequential reference engine.
-//
-// Deprecated: use New(SequentialEngine) and (*Segmenter).Segment, which
-// adds cancellation, progress observation, and buffer pooling. This shim
-// produces byte-identical output.
-func Segment(im *Image, cfg Config) (*Segmentation, error) {
-	return sequentialSession.Segment(context.Background(), im, cfg)
-}
-
-// SegmentSerial runs the serial merge baseline (one merge per iteration —
-// the R−1 worst case of the paper's complexity analysis). Use it to
-// quantify what parallel mutual merging buys.
-func SegmentSerial(im *Image, cfg Config) (*Segmentation, error) {
-	return core.SerialBaseline{}.Segment(im, cfg)
-}
-
-// SegmentNative runs the native shared-memory engine: split, RAG build,
-// and merge rounds on a worker pool sized to GOMAXPROCS. Its labels are
-// byte-identical to Segment's for every Config; only the wall times
-// differ.
-//
-// Deprecated: use New(NativeParallel) and (*Segmenter).Segment, which
-// adds cancellation, progress observation, and buffer pooling. This shim
-// produces byte-identical output.
-func SegmentNative(im *Image, cfg Config) (*Segmentation, error) {
-	return nativeSession.Segment(context.Background(), im, cfg)
-}
+// AllPaperImageIDs lists the six evaluation images in the paper's order —
+// the set ParsePaperImageID accepts. It is AllPaperImages under the name
+// that matches AllEngineKinds and AllTiePolicies; both remain.
+func AllPaperImageIDs() []PaperImageID { return pixmap.AllPaperImages() }
 
 // RegionStat summarises one final region: area, bounding box, centroid,
 // mean intensity, perimeter, and adjacent regions.
